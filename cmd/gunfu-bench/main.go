@@ -1,0 +1,66 @@
+// Command gunfu-bench regenerates the paper's evaluation: one
+// experiment per figure (fig2, fig3, fig9–fig15) plus the ablation
+// studies, printed as text tables.
+//
+// Usage:
+//
+//	gunfu-bench -exp all            # every figure, full populations
+//	gunfu-bench -exp fig11,fig13    # selected figures
+//	gunfu-bench -exp fig10 -quick   # reduced populations for a fast run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	gunfu "github.com/gunfu-nfv/gunfu"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids, or \"all\"")
+	quick := flag.Bool("quick", false, "reduced populations and windows")
+	seed := flag.Int64("seed", 42, "workload seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range gunfu.ExperimentNames() {
+			fmt.Println(n)
+		}
+		return 0
+	}
+
+	var names []string
+	if *expFlag == "all" {
+		names = gunfu.ExperimentNames()
+	} else {
+		for _, n := range strings.Split(*expFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "gunfu-bench: no experiments selected")
+		return 2
+	}
+
+	opts := gunfu.ExpOptions{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	for _, name := range names {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		if _, err := gunfu.RunExperiment(name, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+// Command gunfu-worker is the GuNFu runtime agent: it connects to a
+// director, registers, and executes NF deployments on a local
+// simulated core, reporting measurements back.
+//
+// Usage:
+//
+//	gunfu-worker -connect 127.0.0.1:7700 -name worker-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gunfu-nfv/gunfu/internal/director"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	connect := flag.String("connect", "127.0.0.1:7700", "director address")
+	name := flag.String("name", "", "agent name (required)")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "gunfu-worker: -name is required")
+		return 2
+	}
+	a, err := director.NewAgent(*name, director.DefaultRegistry())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gunfu-worker: %v\n", err)
+		return 1
+	}
+	fmt.Printf("agent %s connecting to %s\n", *name, *connect)
+	if err := a.Run(*connect); err != nil {
+		fmt.Fprintf(os.Stderr, "gunfu-worker: %v\n", err)
+		return 1
+	}
+	fmt.Printf("agent %s shut down\n", *name)
+	return 0
+}

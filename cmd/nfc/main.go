@@ -1,0 +1,107 @@
+// Command nfc is the NF-C front end: it parses an NF-C implementation
+// library, type-checks it against a state schema, and dumps each
+// action's extracted read/write sets and emitted events — the deep
+// visibility the GuNFu compiler and runtime consume.
+//
+// Usage:
+//
+//	nfc -schema 'PerFlowState=ip,port' path/to/actions.nfc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/gunfu-nfv/gunfu/internal/nfc"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	schemaFlag := flag.String("schema", "", "state schema: Root=field,field;Root=... (roots: PerFlowState, SubFlowState, ControlState, TempState)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nfc [-schema ...] <file.nfc>")
+		return 2
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfc: %v\n", err)
+		return 1
+	}
+	schema, err := parseSchema(*schemaFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfc: %v\n", err)
+		return 2
+	}
+	actions, err := nfc.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfc: %v\n", err)
+		return 1
+	}
+	for _, ast := range actions {
+		compiled, err := nfc.Compile(ast, schema)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfc: %v\n", err)
+			return 1
+		}
+		fmt.Printf("NFAction %s (cost≈%d insts, %d temp slots)\n",
+			compiled.Name, compiled.Cost, compiled.NumLocals)
+		dumpSet("reads", compiled.Reads)
+		dumpSet("writes", compiled.Writes)
+		fmt.Printf("  emits:  %s\n", strings.Join(compiled.Events, ", "))
+	}
+	return 0
+}
+
+func dumpSet(label string, set map[nfc.Root][]string) {
+	if len(set) == 0 {
+		fmt.Printf("  %s: (none)\n", label)
+		return
+	}
+	var parts []string
+	for _, root := range []nfc.Root{nfc.RootPacket, nfc.RootPerFlow, nfc.RootSubFlow, nfc.RootControl, nfc.RootTemp} {
+		if fields, ok := set[root]; ok {
+			parts = append(parts, fmt.Sprintf("%s{%s}", root, strings.Join(fields, ",")))
+		}
+	}
+	fmt.Printf("  %s: %s\n", label, strings.Join(parts, " "))
+}
+
+func parseSchema(s string) (nfc.Schema, error) {
+	schema := nfc.Schema{}
+	if s == "" {
+		return schema, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		eq := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(eq) != 2 {
+			return nil, fmt.Errorf("bad schema entry %q", part)
+		}
+		var root nfc.Root
+		switch eq[0] {
+		case "PerFlowState":
+			root = nfc.RootPerFlow
+		case "SubFlowState":
+			root = nfc.RootSubFlow
+		case "ControlState":
+			root = nfc.RootControl
+		case "TempState":
+			root = nfc.RootTemp
+		default:
+			return nil, fmt.Errorf("unknown schema root %q", eq[0])
+		}
+		var fields []string
+		for _, f := range strings.Split(eq[1], ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				fields = append(fields, f)
+			}
+		}
+		schema[root] = fields
+	}
+	return schema, nil
+}

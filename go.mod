@@ -1,0 +1,3 @@
+module github.com/gunfu-nfv/gunfu
+
+go 1.22

@@ -1,0 +1,215 @@
+package compile
+
+import (
+	"fmt"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+// lineKey identifies one statically-resolvable cache line a control
+// state touches: the base kind, the object it resolves through (pool or
+// control region), and the line index within a record/region.
+type lineKey struct {
+	base model.BaseKind
+	pool *mem.Pool
+	ctrl uint64
+	line uint64
+}
+
+// lineSet is a must-be-cached fact set. nil means ⊤ (unknown /
+// universe) during the optimistic fixed point; an allocated empty map
+// means "nothing guaranteed".
+type lineSet map[lineKey]struct{}
+
+// spanLines enumerates a span's static line keys; dynamic spans are
+// unresolvable at compile time and yield none.
+func spanLines(s model.Span, bind *model.Binding) []lineKey {
+	if s.Base == model.BaseDynamic || s.Size == 0 {
+		return nil
+	}
+	first := s.Off / sim.LineBytes
+	last := (s.Off + s.Size - 1) / sim.LineBytes
+	keys := make([]lineKey, 0, last-first+1)
+	for line := first; line <= last; line++ {
+		k := lineKey{base: s.Base, line: line}
+		switch s.Base {
+		case model.BasePerFlow:
+			k.pool = bind.PerFlow
+		case model.BaseSubFlow:
+			k.pool = bind.SubFlow
+		case model.BaseControl:
+			k.ctrl = bind.Control.Base
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// RemoveRedundantPrefetches is the PRR pass of §VI-B: a forward
+// must-analysis over the control-state graph that computes, for every
+// CS, the set of lines guaranteed to have been touched (prefetched or
+// demand-accessed) on *every* path from the start, and removes those
+// lines' spans from the CS's prefetch plan.
+//
+// Facts about per-flow and sub-flow lines are killed across match
+// actions, because a match may rebind the task's flow index and the
+// facts are per-record. Dynamic (cursor-based) spans are never removed.
+func RemoveRedundantPrefetches(p *model.Program) error {
+	n := p.NumCS()
+	if n == 0 {
+		return fmt.Errorf("compile: PRR: empty program")
+	}
+
+	// Predecessor lists.
+	preds := make([][]model.CSID, n)
+	for i := 1; i < n; i++ {
+		info, err := p.CS(model.CSID(i))
+		if err != nil {
+			return err
+		}
+		for _, next := range info.Next {
+			if next >= 0 {
+				preds[next] = append(preds[next], model.CSID(i))
+			}
+		}
+	}
+
+	gen := func(info *model.CSInfo) lineSet {
+		out := make(lineSet)
+		for _, spans := range [][]model.Span{info.Prefetch, info.Reads, info.Writes} {
+			for _, s := range spans {
+				for _, k := range spanLines(s, info.Bind) {
+					out[k] = struct{}{}
+				}
+			}
+		}
+		return out
+	}
+
+	// Optimistic fixed point: in/out start at ⊤ (nil).
+	in := make([]lineSet, n)
+	out := make([]lineSet, n)
+
+	transfer := func(id model.CSID) (lineSet, error) {
+		info, err := p.CS(id)
+		if err != nil {
+			return nil, err
+		}
+		res := make(lineSet)
+		for k := range in[id] {
+			res[k] = struct{}{}
+		}
+		act, err := p.Action(info.Action)
+		if err != nil {
+			return nil, err
+		}
+		if act.Kind == model.ActionMatch {
+			for k := range res {
+				if k.base == model.BasePerFlow || k.base == model.BaseSubFlow {
+					delete(res, k)
+				}
+			}
+		}
+		for k := range gen(info) {
+			res[k] = struct{}{}
+		}
+		return res, nil
+	}
+
+	start := p.Start()
+	in[start] = make(lineSet)
+	// Iterate to a fixed point; the lattice is finite and transfer is
+	// monotone, so this terminates. Bound defensively anyway.
+	for iter := 0; iter < n*4+8; iter++ {
+		changed := false
+		for i := 1; i < n; i++ {
+			id := model.CSID(i)
+			// Meet: intersection of known predecessor OUTs.
+			var meet lineSet
+			if id == start {
+				meet = make(lineSet)
+			}
+			for _, pr := range preds[id] {
+				if out[pr] == nil {
+					continue // ⊤ contributes nothing to an intersection
+				}
+				if meet == nil {
+					meet = make(lineSet, len(out[pr]))
+					for k := range out[pr] {
+						meet[k] = struct{}{}
+					}
+					continue
+				}
+				for k := range meet {
+					if _, ok := out[pr][k]; !ok {
+						delete(meet, k)
+					}
+				}
+			}
+			if meet == nil {
+				continue // still ⊤
+			}
+			if !sameSet(in[id], meet) {
+				in[id] = meet
+				changed = true
+			}
+			newOut, err := transfer(id)
+			if err != nil {
+				return err
+			}
+			if !sameSet(out[id], newOut) {
+				out[id] = newOut
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Filter prefetch plans.
+	for i := 1; i < n; i++ {
+		id := model.CSID(i)
+		if in[id] == nil {
+			continue // unreachable
+		}
+		info, err := p.CS(id)
+		if err != nil {
+			return err
+		}
+		kept := info.Prefetch[:0]
+		for _, s := range info.Prefetch {
+			keys := spanLines(s, info.Bind)
+			if len(keys) == 0 {
+				kept = append(kept, s) // dynamic: never removable
+				continue
+			}
+			covered := true
+			for _, k := range keys {
+				if _, ok := in[id][k]; !ok {
+					covered = false
+					break
+				}
+			}
+			if !covered {
+				kept = append(kept, s)
+			}
+		}
+		info.Prefetch = kept
+	}
+	return nil
+}
+
+func sameSet(a, b lineSet) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+// Package compile implements the GuNFu compiler of the paper's §VI: it
+// lowers NF/SFC specifications onto the model.Builder, and applies the
+// three compilation optimizations granular decomposition enables —
+// redundant matching removal (MR) for chained NFs, redundant prefetch
+// removal (PRR) over the control-state graph, and cache-conscious data
+// packing (DP) of per-flow state layouts.
+package compile
+
+import (
+	"fmt"
+
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/nf"
+	"github.com/gunfu-nfv/gunfu/internal/pkt"
+)
+
+// Chainable is a network function that can contribute its modules to a
+// composed service function chain. The four data-center NFs (LB, NAT,
+// NM, FW) all implement it.
+type Chainable interface {
+	// Name returns the instance name (unique within a chain).
+	Name() string
+	// Attach registers the full NF (classifier + data path), exiting
+	// toward next, and returns its entry state.
+	Attach(b *model.Builder, next string) string
+	// AttachData registers only the data path, relying on a FlowIdx set
+	// by an upstream classifier — the post-MR form.
+	AttachData(b *model.Builder, next string) string
+	// AddFlow pre-populates per-flow state for tuple at index idx.
+	AddFlow(tuple pkt.FiveTuple, idx int32) error
+	// Translate returns the tuple as the NF emits it for flow idx (the
+	// identity for non-rewriting NFs). Chain population uses it so each
+	// NF's match table is keyed on the packet as it arrives there.
+	Translate(tuple pkt.FiveTuple, idx int32) pkt.FiveTuple
+	// States exposes the NF's per-flow state objects.
+	States() *nf.States
+}
+
+// SFCOptions selects the compilation optimizations for a chain.
+type SFCOptions struct {
+	// RemoveRedundantMatching keeps only the first NF's classifier and
+	// reuses its match result for every subsequent NF (all NFs must key
+	// on the five-tuple and share a flow index space).
+	RemoveRedundantMatching bool
+	// RemoveRedundantPrefetches runs the PRR dataflow pass on the built
+	// program.
+	RemoveRedundantPrefetches bool
+}
+
+// BuildSFC composes the chain into one program, NFs in traversal order.
+func BuildSFC(name string, chain []Chainable, opts SFCOptions) (*model.Program, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("compile: empty chain")
+	}
+	seen := make(map[string]bool, len(chain))
+	for _, c := range chain {
+		if seen[c.Name()] {
+			return nil, fmt.Errorf("compile: duplicate NF name %q in chain", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+
+	b := model.NewBuilder(name)
+	next := model.EndName
+	for i := len(chain) - 1; i >= 0; i-- {
+		if opts.RemoveRedundantMatching && i > 0 {
+			// Downstream NFs reuse the head classifier's match result.
+			next = chain[i].AttachData(b, next)
+		} else {
+			next = chain[i].Attach(b, next)
+		}
+	}
+	b.SetStart(next)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("compile: %s: %w", name, err)
+	}
+	if opts.RemoveRedundantPrefetches {
+		if err := RemoveRedundantPrefetches(prog); err != nil {
+			return nil, fmt.Errorf("compile: %s: PRR: %w", name, err)
+		}
+	}
+	return prog, nil
+}
+
+// PopulateFlows installs the (tuple → index) assignment into every NF
+// of the chain, establishing the shared flow index space that redundant
+// matching removal relies on. Each NF is keyed on the tuple as packets
+// reach it: the flow's original tuple transformed by every upstream
+// NF's rewrite.
+func PopulateFlows(chain []Chainable, tuples []pkt.FiveTuple) error {
+	for i, tuple := range tuples {
+		cur := tuple
+		for _, c := range chain {
+			if err := c.AddFlow(cur, int32(i)); err != nil {
+				return fmt.Errorf("compile: populating %s flow %d: %w", c.Name(), i, err)
+			}
+			cur = c.Translate(cur, int32(i))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package director
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"github.com/gunfu-nfv/gunfu/internal/compile"
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/nf/fw"
+	"github.com/gunfu-nfv/gunfu/internal/nf/lb"
+	"github.com/gunfu-nfv/gunfu/internal/nf/monitor"
+	"github.com/gunfu-nfv/gunfu/internal/nf/nat"
+	"github.com/gunfu-nfv/gunfu/internal/nf/upf"
+	"github.com/gunfu-nfv/gunfu/internal/pkt"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/rtc"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/traffic"
+)
+
+// Factory builds a deployable NF: the compiled program and the
+// workload source for one run, with state drawn from as.
+type Factory func(as *mem.AddressSpace, d DeploySpec) (*model.Program, rt.Source, error)
+
+// Registry maps deployable NF names to factories.
+type Registry map[string]Factory
+
+// DefaultRegistry returns the built-in deployables: the NFs of the
+// paper's evaluation, each pre-populated for the requested flow count.
+func DefaultRegistry() Registry {
+	return Registry{
+		"nat":          natFactory,
+		"upf-downlink": upfFactory,
+		"sfc":          sfcFactory,
+	}
+}
+
+func natFactory(as *mem.AddressSpace, d DeploySpec) (*model.Program, rt.Source, error) {
+	n, err := nat.New(as, nat.Config{MaxFlows: d.Flows})
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := traffic.NewFlowGen(traffic.FlowGenConfig{
+		Flows: d.Flows, PacketBytes: d.PacketBytes, Order: traffic.OrderUniform, Seed: d.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < d.Flows; i++ {
+		if err := n.AddFlow(g.FlowTuple(i), int32(i)); err != nil {
+			return nil, nil, err
+		}
+	}
+	prog, err := n.Program()
+	return prog, g, err
+}
+
+func upfFactory(as *mem.AddressSpace, d DeploySpec) (*model.Program, rt.Source, error) {
+	pdrs := d.PDRs
+	if pdrs == 0 {
+		pdrs = 16
+	}
+	u, err := upf.New(as, upf.Config{Sessions: d.Flows, PDRsPerSession: pdrs})
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := traffic.NewMGWGen(traffic.MGWConfig{
+		Sessions: d.Flows, PDRs: pdrs, PacketBytes: d.PacketBytes, Seed: d.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := u.DownlinkProgram()
+	return prog, g, err
+}
+
+func sfcFactory(as *mem.AddressSpace, d DeploySpec) (*model.Program, rt.Source, error) {
+	length := d.SFCLength
+	if length == 0 {
+		length = 4
+	}
+	chain, err := BuildChain(as, length, d.Flows)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := traffic.NewFlowGen(traffic.FlowGenConfig{
+		Flows: d.Flows, PacketBytes: d.PacketBytes, Order: traffic.OrderUniform, Seed: d.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tuples := make([]pkt.FiveTuple, d.Flows)
+	for i := range tuples {
+		tuples[i] = g.FlowTuple(i)
+	}
+	if err := compile.PopulateFlows(chain, tuples); err != nil {
+		return nil, nil, err
+	}
+	prog, err := compile.BuildSFC("sfc", chain, compile.SFCOptions{})
+	return prog, g, err
+}
+
+// BuildChain constructs the paper's SFC of the given length (2–6):
+// LB → NAT → NM → FW, extended with additional firewalls carrying
+// different policies for lengths above four, exactly as §VII-B
+// describes.
+func BuildChain(as *mem.AddressSpace, length, flows int) ([]compile.Chainable, error) {
+	if length < 2 || length > 6 {
+		return nil, fmt.Errorf("director: SFC length %d outside [2,6]", length)
+	}
+	var chain []compile.Chainable
+	l, err := lb.New(as, lb.Config{MaxFlows: flows})
+	if err != nil {
+		return nil, err
+	}
+	chain = append(chain, l)
+	n, err := nat.New(as, nat.Config{MaxFlows: flows})
+	if err != nil {
+		return nil, err
+	}
+	chain = append(chain, n)
+	if length >= 3 {
+		m, err := monitor.New(as, monitor.Config{MaxFlows: flows})
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, m)
+	}
+	for i := 4; i <= length; i++ {
+		f, err := fw.New(as, fw.Config{
+			Name:     fmt.Sprintf("fw%d", i-3),
+			MaxFlows: flows,
+			Policy:   fw.DefaultPolicy(8 * (i - 2)), // different policies per FW
+		})
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, f)
+	}
+	return chain, nil
+}
+
+// Agent is the per-host runtime agent: it registers with the director
+// and executes deployments on a local simulated core.
+type Agent struct {
+	name string
+	reg  Registry
+	// SimConfig is the core configuration deployments run on.
+	SimConfig sim.Config
+}
+
+// NewAgent builds an agent with the given deployable registry.
+func NewAgent(name string, reg Registry) (*Agent, error) {
+	if name == "" {
+		return nil, fmt.Errorf("director: agent needs a name")
+	}
+	if len(reg) == 0 {
+		return nil, fmt.Errorf("director: agent needs a registry")
+	}
+	return &Agent{name: name, reg: reg, SimConfig: sim.DefaultConfig()}, nil
+}
+
+// Run connects to the director and serves deployments until the
+// connection closes or a shutdown arrives.
+func (a *Agent) Run(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("director: agent %s: %w", a.name, err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(Envelope{Type: TypeRegister, Agent: a.name}); err != nil {
+		return fmt.Errorf("director: agent %s: register: %w", a.name, err)
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for scanner.Scan() {
+		var env Envelope
+		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
+			continue
+		}
+		switch env.Type {
+		case TypeShutdown:
+			return nil
+		case TypeDeploy:
+			reply := a.execute(env)
+			if err := enc.Encode(reply); err != nil {
+				return fmt.Errorf("director: agent %s: reply: %w", a.name, err)
+			}
+		}
+	}
+	return nil // director closed the connection
+}
+
+// execute runs one deployment and builds the reply envelope.
+func (a *Agent) execute(env Envelope) Envelope {
+	fail := func(err error) Envelope {
+		return Envelope{Type: TypeError, Seq: env.Seq, Agent: a.name, Error: err.Error()}
+	}
+	if env.Deploy == nil {
+		return fail(fmt.Errorf("deploy message without spec"))
+	}
+	d := *env.Deploy
+	if err := d.Validate(); err != nil {
+		return fail(err)
+	}
+	factory, ok := a.reg[d.NF]
+	if !ok {
+		return fail(fmt.Errorf("unknown NF %q", d.NF))
+	}
+	as := mem.NewAddressSpace()
+	prog, src, err := factory(as, d)
+	if err != nil {
+		return fail(err)
+	}
+	core, err := sim.NewCore(a.SimConfig)
+	if err != nil {
+		return fail(err)
+	}
+
+	var res rt.Result
+	if d.Tasks > 0 {
+		cfg := rt.DefaultConfig()
+		cfg.Tasks = d.Tasks
+		w, err := rt.NewWorker(core, as, prog, cfg)
+		if err != nil {
+			return fail(err)
+		}
+		if d.Warmup > 0 {
+			if _, err := w.Run(src, d.Warmup); err != nil {
+				return fail(err)
+			}
+		}
+		if res, err = w.Run(src, d.Packets); err != nil {
+			return fail(err)
+		}
+	} else {
+		w, err := rtc.NewWorker(core, as, prog, rtc.DefaultConfig())
+		if err != nil {
+			return fail(err)
+		}
+		if d.Warmup > 0 {
+			if _, err := w.Run(src, d.Warmup); err != nil {
+				return fail(err)
+			}
+		}
+		if res, err = w.Run(src, d.Packets); err != nil {
+			return fail(err)
+		}
+	}
+
+	return Envelope{
+		Type: TypeResult, Seq: env.Seq, Agent: a.name,
+		Result: &Result{
+			Agent:    a.name,
+			Packets:  res.Packets,
+			Bits:     res.Bits,
+			Cycles:   res.Cycles,
+			FreqHz:   res.FreqHz,
+			Counters: res.Counters,
+		},
+	}
+}

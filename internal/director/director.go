@@ -1,0 +1,240 @@
+package director
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Director is the control-plane server: it accepts runtime-agent
+// connections, deploys NFs to them, and collects results.
+type Director struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	agents map[string]*agentConn
+	seq    int
+	closed bool
+	// arrival signals agent registration to waiters.
+	arrival chan struct{}
+
+	wg sync.WaitGroup
+}
+
+type agentConn struct {
+	name string
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu      sync.Mutex // serializes requests to this agent
+	pending chan Envelope
+}
+
+// New creates a director.
+func New() *Director {
+	return &Director{
+		agents:  make(map[string]*agentConn),
+		arrival: make(chan struct{}, 16),
+	}
+}
+
+// Listen starts accepting agents on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (d *Director) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("director: listen: %w", err)
+	}
+	d.ln = ln
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (d *Director) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.wg.Add(1)
+		go d.serveConn(conn)
+	}
+}
+
+// serveConn reads the registration then pumps responses to waiters.
+func (d *Director) serveConn(conn net.Conn) {
+	defer d.wg.Done()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !scanner.Scan() {
+		_ = conn.Close()
+		return
+	}
+	var reg Envelope
+	if err := json.Unmarshal(scanner.Bytes(), &reg); err != nil || reg.Type != TypeRegister || reg.Agent == "" {
+		_ = conn.Close()
+		return
+	}
+	ac := &agentConn{
+		name:    reg.Agent,
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		pending: make(chan Envelope, 4),
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	d.agents[reg.Agent] = ac
+	d.mu.Unlock()
+	select {
+	case d.arrival <- struct{}{}:
+	default:
+	}
+
+	for scanner.Scan() {
+		var env Envelope
+		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
+			continue
+		}
+		select {
+		case ac.pending <- env:
+		default:
+			// No waiter; drop (unsolicited stats could be handled here).
+		}
+	}
+	d.mu.Lock()
+	delete(d.agents, reg.Agent)
+	d.mu.Unlock()
+	_ = conn.Close()
+}
+
+// Agents returns the names of currently registered agents.
+func (d *Director) Agents() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.agents))
+	for n := range d.agents {
+		names = append(names, n)
+	}
+	return names
+}
+
+// WaitAgents blocks until at least n agents are registered or the
+// timeout elapses.
+func (d *Director) WaitAgents(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		d.mu.Lock()
+		have := len(d.agents)
+		d.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("director: only %d of %d agents after %v", have, n, timeout)
+		}
+		select {
+		case <-d.arrival:
+		case <-time.After(remain):
+		}
+	}
+}
+
+// Deploy sends spec to the named agent, blocks for its result, and
+// returns it. One deployment runs at a time per agent.
+func (d *Director) Deploy(agent string, depl DeploySpec, timeout time.Duration) (Result, error) {
+	if err := depl.Validate(); err != nil {
+		return Result{}, err
+	}
+	d.mu.Lock()
+	ac, ok := d.agents[agent]
+	d.seq++
+	seq := d.seq
+	d.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("director: unknown agent %q", agent)
+	}
+
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if err := ac.enc.Encode(Envelope{Type: TypeDeploy, Seq: seq, Deploy: &depl}); err != nil {
+		return Result{}, fmt.Errorf("director: sending to %s: %w", agent, err)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case env := <-ac.pending:
+			if env.Seq != seq {
+				continue // stale response from an abandoned request
+			}
+			switch env.Type {
+			case TypeResult:
+				if env.Result == nil {
+					return Result{}, fmt.Errorf("director: %s returned empty result", agent)
+				}
+				return *env.Result, nil
+			case TypeError:
+				return Result{}, fmt.Errorf("director: agent %s: %s", agent, env.Error)
+			default:
+				return Result{}, fmt.Errorf("director: unexpected reply %q from %s", env.Type, agent)
+			}
+		case <-timer.C:
+			return Result{}, fmt.Errorf("director: deploy to %s timed out after %v", agent, timeout)
+		}
+	}
+}
+
+// DeployAll deploys the same spec to every registered agent in
+// parallel (the multi-core scaling experiments) and returns the
+// per-agent results.
+func (d *Director) DeployAll(depl DeploySpec, timeout time.Duration) ([]Result, error) {
+	agents := d.Agents()
+	if len(agents) == 0 {
+		return nil, fmt.Errorf("director: no agents registered")
+	}
+	results := make([]Result, len(agents))
+	errs := make([]error, len(agents))
+	var wg sync.WaitGroup
+	for i, name := range agents {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			results[i], errs[i] = d.Deploy(name, depl, timeout)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("director: agent %s: %w", agents[i], err)
+		}
+	}
+	return results, nil
+}
+
+// Close shuts agents down and stops the listener.
+func (d *Director) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	for _, ac := range d.agents {
+		// Best effort shutdown notice; connection close follows.
+		_ = ac.enc.Encode(Envelope{Type: TypeShutdown})
+		_ = ac.conn.Close()
+	}
+	d.mu.Unlock()
+	var err error
+	if d.ln != nil {
+		err = d.ln.Close()
+	}
+	d.wg.Wait()
+	return err
+}

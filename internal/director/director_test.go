@@ -1,0 +1,215 @@
+package director
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+)
+
+// startCluster brings up a director and n agents on loopback and
+// returns the director plus a shutdown func.
+func startCluster(t *testing.T, n int) (*Director, func()) {
+	t.Helper()
+	d := New()
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		a, err := NewAgent(agentName(i), DefaultRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Run returns when the director closes the connection.
+			_ = a.Run(addr)
+		}()
+	}
+	if err := d.WaitAgents(n, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return d, func() {
+		_ = d.Close()
+		wg.Wait()
+	}
+}
+
+func agentName(i int) string {
+	return "worker-" + string(rune('a'+i))
+}
+
+func TestDeployNAT(t *testing.T) {
+	d, stop := startCluster(t, 1)
+	defer stop()
+
+	res, err := d.Deploy(agentName(0), DeploySpec{
+		NF: "nat", Flows: 1024, Packets: 5000, Warmup: 500,
+		PacketBytes: 64, Tasks: 16, Seed: 1,
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 5000 {
+		t.Fatalf("packets = %d", res.Packets)
+	}
+	if res.Gbps() <= 0 {
+		t.Fatalf("throughput = %v", res.Gbps())
+	}
+	if res.Agent != agentName(0) {
+		t.Fatalf("agent = %q", res.Agent)
+	}
+}
+
+func TestDeployRTCvsInterleaved(t *testing.T) {
+	d, stop := startCluster(t, 1)
+	defer stop()
+
+	spec := DeploySpec{NF: "nat", Flows: 32768, Packets: 15000, Warmup: 3000, PacketBytes: 64, Seed: 2}
+	rtcSpec := spec
+	rtcSpec.Tasks = 0 // RTC baseline
+	ilSpec := spec
+	ilSpec.Tasks = 16
+
+	rtcRes, err := d.Deploy(agentName(0), rtcSpec, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilRes, err := d.Deploy(agentName(0), ilSpec, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ilRes.Gbps() <= rtcRes.Gbps() {
+		t.Fatalf("interleaved (%v Gbps) not faster than RTC (%v Gbps)", ilRes.Gbps(), rtcRes.Gbps())
+	}
+}
+
+func TestDeployAllParallel(t *testing.T) {
+	d, stop := startCluster(t, 3)
+	defer stop()
+
+	results, err := d.DeployAll(DeploySpec{
+		NF: "sfc", SFCLength: 3, Flows: 512, Packets: 2000, PacketBytes: 64, Tasks: 8, Seed: 3,
+	}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Packets != 2000 {
+			t.Fatalf("agent %s processed %d", r.Agent, r.Packets)
+		}
+	}
+}
+
+func TestDeployUPF(t *testing.T) {
+	d, stop := startCluster(t, 1)
+	defer stop()
+	res, err := d.Deploy(agentName(0), DeploySpec{
+		NF: "upf-downlink", Flows: 2048, PDRs: 8, Packets: 3000, PacketBytes: 128, Tasks: 16, Seed: 4,
+	}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 3000 {
+		t.Fatalf("packets = %d", res.Packets)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	d, stop := startCluster(t, 1)
+	defer stop()
+
+	if _, err := d.Deploy("ghost", DeploySpec{NF: "nat", Flows: 1, Packets: 1, PacketBytes: 64}, time.Second); err == nil {
+		t.Fatal("unknown agent accepted")
+	}
+	if _, err := d.Deploy(agentName(0), DeploySpec{NF: "warp", Flows: 16, Packets: 10, PacketBytes: 64}, 10*time.Second); err == nil {
+		t.Fatal("unknown NF accepted")
+	} else if !strings.Contains(err.Error(), "unknown NF") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := d.Deploy(agentName(0), DeploySpec{NF: "nat"}, time.Second); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestWaitAgentsTimeout(t *testing.T) {
+	d := New()
+	if _, err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.WaitAgents(1, 50*time.Millisecond); err == nil {
+		t.Fatal("WaitAgents(1) succeeded with no agents")
+	}
+}
+
+func TestAgentValidation(t *testing.T) {
+	if _, err := NewAgent("", DefaultRegistry()); err == nil {
+		t.Fatal("nameless agent accepted")
+	}
+	if _, err := NewAgent("x", nil); err == nil {
+		t.Fatal("registry-less agent accepted")
+	}
+}
+
+func TestBuildChainLengths(t *testing.T) {
+	for length := 2; length <= 6; length++ {
+		chain, err := BuildChain(mem.NewAddressSpace(), length, 64)
+		if err != nil {
+			t.Fatalf("length %d: %v", length, err)
+		}
+		if len(chain) != length {
+			t.Fatalf("length %d built %d NFs", length, len(chain))
+		}
+		names := make(map[string]bool)
+		for _, c := range chain {
+			if names[c.Name()] {
+				t.Fatalf("duplicate NF name %q in chain of %d", c.Name(), length)
+			}
+			names[c.Name()] = true
+		}
+	}
+	if _, err := BuildChain(mem.NewAddressSpace(), 1, 64); err == nil {
+		t.Fatal("length 1 accepted")
+	}
+	if _, err := BuildChain(mem.NewAddressSpace(), 7, 64); err == nil {
+		t.Fatal("length 7 accepted")
+	}
+}
+
+func TestDeploySpecValidate(t *testing.T) {
+	ok := DeploySpec{NF: "nat", Flows: 1, Packets: 1, PacketBytes: 64}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DeploySpec{
+		{Flows: 1, Packets: 1, PacketBytes: 64},
+		{NF: "nat", Packets: 1, PacketBytes: 64},
+		{NF: "nat", Flows: 1, PacketBytes: 64},
+		{NF: "nat", Flows: 1, Packets: 1, PacketBytes: 32},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestResultGbps(t *testing.T) {
+	r := Result{Bits: 1e9, Cycles: 1000, FreqHz: 1e9}
+	// 1e9 bits in 1 microsecond = 1e15 bps... sanity: cycles/freq = 1µs.
+	if g := r.Gbps(); g < 0.9e6 || g > 1.1e6 {
+		t.Fatalf("Gbps = %v", g)
+	}
+	if (Result{}).Gbps() != 0 {
+		t.Fatal("zero result must be 0")
+	}
+}

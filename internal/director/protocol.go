@@ -1,0 +1,119 @@
+// Package director implements GuNFu's control plane (§III): the
+// director that deploys and configures network functions, and the
+// per-host runtime agent that receives deployment commands, builds the
+// NF data plane, runs it, and reports operational statistics back.
+//
+// The wire protocol is newline-delimited JSON over TCP. A deployment
+// names an NF from the agent's registry together with its workload
+// parameters; the agent compiles and runs it on a simulated core and
+// returns the measured result. This mirrors the paper's
+// director-agent/runtime-agent split with the NIC replaced by the
+// traffic generators (the data plane under test is CPU-side either
+// way).
+package director
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+// Message types exchanged between director and agents.
+const (
+	// TypeRegister announces an agent (agent → director).
+	TypeRegister = "register"
+	// TypeDeploy asks an agent to build and run an NF (director → agent).
+	TypeDeploy = "deploy"
+	// TypeResult carries a completed run's measurements (agent → director).
+	TypeResult = "result"
+	// TypeError reports a failed command (agent → director).
+	TypeError = "error"
+	// TypeShutdown asks the agent to exit (director → agent).
+	TypeShutdown = "shutdown"
+)
+
+// DeploySpec describes one NF deployment: which registered NF to run
+// and under which workload and execution-model parameters.
+type DeploySpec struct {
+	// NF names a factory in the agent's registry (e.g. "nat",
+	// "upf-downlink", "sfc").
+	NF string `json:"nf"`
+	// Flows is the concurrent flow population.
+	Flows int `json:"flows"`
+	// Packets is the measurement window length.
+	Packets uint64 `json:"packets"`
+	// Warmup packets run before the measured window.
+	Warmup uint64 `json:"warmup"`
+	// PacketBytes is the workload packet size.
+	PacketBytes int `json:"packet_bytes"`
+	// Tasks is max_interleaved; 0 selects the RTC baseline.
+	Tasks int `json:"tasks"`
+	// Seed makes the workload deterministic.
+	Seed int64 `json:"seed"`
+	// SFCLength selects the chain length for the "sfc" NF.
+	SFCLength int `json:"sfc_length,omitempty"`
+	// PDRs selects rules per session for the "upf-downlink" NF.
+	PDRs int `json:"pdrs,omitempty"`
+}
+
+// Validate checks the spec's common fields.
+func (d DeploySpec) Validate() error {
+	if d.NF == "" {
+		return fmt.Errorf("director: deploy: NF name required")
+	}
+	if d.Flows <= 0 || d.Packets == 0 {
+		return fmt.Errorf("director: deploy: Flows and Packets must be positive")
+	}
+	if d.PacketBytes < 64 {
+		return fmt.Errorf("director: deploy: PacketBytes must be >= 64")
+	}
+	return nil
+}
+
+// Result carries an agent's measurements back to the director.
+type Result struct {
+	// Agent is the reporting agent's name.
+	Agent string `json:"agent"`
+	// Packets and Bits are the processed volume.
+	Packets uint64  `json:"packets"`
+	Bits    float64 `json:"bits"`
+	// Cycles is the simulated window, FreqHz its clock.
+	Cycles uint64  `json:"cycles"`
+	FreqHz float64 `json:"freq_hz"`
+	// Counters is the PMU delta.
+	Counters sim.Counters `json:"counters"`
+}
+
+// Gbps converts the result to gigabits per second of simulated time.
+func (r Result) Gbps() float64 {
+	if r.Cycles == 0 || r.FreqHz == 0 {
+		return 0
+	}
+	return r.Bits / (float64(r.Cycles) / r.FreqHz) / 1e9
+}
+
+// Envelope is the wire message.
+type Envelope struct {
+	// Type discriminates the payload.
+	Type string `json:"type"`
+	// Seq correlates a response with its request.
+	Seq int `json:"seq"`
+	// Agent is the sender/receiver agent name.
+	Agent string `json:"agent,omitempty"`
+	// Deploy is set for TypeDeploy.
+	Deploy *DeploySpec `json:"deploy,omitempty"`
+	// Result is set for TypeResult.
+	Result *Result `json:"result,omitempty"`
+	// Error is set for TypeError.
+	Error string `json:"error,omitempty"`
+}
+
+// encode marshals an envelope to one JSON line.
+func encode(e Envelope) ([]byte, error) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("director: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,216 @@
+// Package dstruct implements the matching structures the paper's NFs
+// classify flows with: a 4-way bucketized cuckoo hash table and a
+// multidimensional interval (MDI) tree.
+//
+// Both structures are *stepwise*: lookups are resumable state machines
+// driven through a model.Cursor, with each step touching exactly one
+// cache line whose address is known before the step runs. That is the
+// granular decomposition of Listing 1 in the paper (get_key → hash_1 →
+// check_1 → hash_2 → check_2) and it is what lets the interleaved
+// runtime prefetch the next bucket or tree node and switch to another
+// function stream instead of stalling on the pointer chase.
+//
+// The structures keep their real contents in flat Go slices (no
+// per-node allocations, GC-friendly) and expose one simulated address
+// per bucket/node so the cache simulator sees the true footprint.
+package dstruct
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+// slotsPerBucket is the cuckoo bucket width. Four 14-byte slots fit one
+// 64-byte cache line, so probing a bucket costs exactly one line.
+const slotsPerBucket = 4
+
+// maxKicks bounds the cuckoo insertion displacement chain.
+const maxKicks = 500
+
+// Cuckoo is a 4-way bucketized cuckoo hash table mapping uint64 keys to
+// int32 values (pool entry indexes). Each bucket occupies one simulated
+// cache line.
+type Cuckoo struct {
+	region  mem.Region
+	mask    uint64
+	keys    []uint64
+	vals    []int32
+	used    []bool
+	entries int
+}
+
+// NewCuckoo builds a table able to hold at least capacity entries at a
+// conservative load factor, drawing simulated addresses from as.
+func NewCuckoo(as *mem.AddressSpace, name string, capacity int) (*Cuckoo, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("dstruct: cuckoo %s: capacity must be positive", name)
+	}
+	// Size for a 50% load factor so displacement chains stay short.
+	buckets := nextPow2(uint64(capacity) / (slotsPerBucket / 2))
+	if buckets < 4 {
+		buckets = 4
+	}
+	n := int(buckets) * slotsPerBucket
+	base := as.Reserve(buckets*sim.LineBytes, sim.LineBytes)
+	return &Cuckoo{
+		region: mem.Region{Name: name, Base: base, Size: buckets * sim.LineBytes},
+		mask:   buckets - 1,
+		keys:   make([]uint64, n),
+		vals:   make([]int32, n),
+		used:   make([]bool, n),
+	}, nil
+}
+
+func nextPow2(v uint64) uint64 {
+	if v < 2 {
+		return 2
+	}
+	return 1 << uint(64-bits.LeadingZeros64(v-1))
+}
+
+// hash1 and hash2 are two independent mixes of the key; bucket indexes
+// derive from them so both candidates are computable from the key alone.
+func hash1(key uint64) uint64 {
+	h := key * 0x9e3779b97f4a7c15
+	return h ^ h>>32
+}
+
+func hash2(key uint64) uint64 {
+	h := (key ^ 0xdeadbeefcafef00d) * 0xc2b2ae3d27d4eb4f
+	return h ^ h>>29
+}
+
+// BucketAddr returns the simulated address of bucket b.
+func (c *Cuckoo) BucketAddr(b uint64) uint64 {
+	return c.region.Base + (b&c.mask)*sim.LineBytes
+}
+
+// Region returns the table's simulated address region.
+func (c *Cuckoo) Region() mem.Region { return c.region }
+
+// Len returns the number of stored entries.
+func (c *Cuckoo) Len() int { return c.entries }
+
+// Buckets returns the bucket count.
+func (c *Cuckoo) Buckets() int { return int(c.mask + 1) }
+
+// Insert stores key→val, displacing entries as needed. It is a control-
+// plane operation (session establishment) and is not charged to the
+// cache simulator.
+func (c *Cuckoo) Insert(key uint64, val int32) error {
+	if c.tryPlace(key, val, hash1(key)&c.mask) || c.tryPlace(key, val, hash2(key)&c.mask) {
+		return nil
+	}
+	// Displacement chain starting from the first candidate.
+	curKey, curVal := key, val
+	b := hash1(key) & c.mask
+	for kick := 0; kick < maxKicks; kick++ {
+		// Evict a pseudo-random slot of b (rotate by kick for
+		// determinism without a global RNG).
+		slot := int(b)*slotsPerBucket + kick%slotsPerBucket
+		evKey, evVal := c.keys[slot], c.vals[slot]
+		c.keys[slot], c.vals[slot] = curKey, curVal
+		curKey, curVal = evKey, evVal
+		// The evicted entry goes to its alternate bucket.
+		b1, b2 := hash1(curKey)&c.mask, hash2(curKey)&c.mask
+		if b == b1 {
+			b = b2
+		} else {
+			b = b1
+		}
+		if c.tryPlace(curKey, curVal, b) {
+			return nil
+		}
+	}
+	return fmt.Errorf("dstruct: cuckoo %s: insertion failed after %d kicks (load %d/%d)",
+		c.region.Name, maxKicks, c.entries, len(c.keys))
+}
+
+func (c *Cuckoo) tryPlace(key uint64, val int32, b uint64) bool {
+	base := int(b) * slotsPerBucket
+	for s := 0; s < slotsPerBucket; s++ {
+		if c.used[base+s] && c.keys[base+s] == key {
+			c.vals[base+s] = val // update in place
+			return true
+		}
+	}
+	for s := 0; s < slotsPerBucket; s++ {
+		if !c.used[base+s] {
+			c.used[base+s] = true
+			c.keys[base+s] = key
+			c.vals[base+s] = val
+			c.entries++
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Cuckoo) Delete(key uint64) bool {
+	for _, b := range []uint64{hash1(key) & c.mask, hash2(key) & c.mask} {
+		base := int(b) * slotsPerBucket
+		for s := 0; s < slotsPerBucket; s++ {
+			if c.used[base+s] && c.keys[base+s] == key {
+				c.used[base+s] = false
+				c.entries--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Lookup is the un-charged control-plane lookup (tests, management).
+func (c *Cuckoo) Lookup(key uint64) (int32, bool) {
+	for _, b := range []uint64{hash1(key) & c.mask, hash2(key) & c.mask} {
+		base := int(b) * slotsPerBucket
+		for s := 0; s < slotsPerBucket; s++ {
+			if c.used[base+s] && c.keys[base+s] == key {
+				return c.vals[base+s], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Begin stages a stepwise lookup: it computes the first candidate
+// bucket and parks its address in the cursor, so the runtime can
+// prefetch it before CheckStep executes. This is the hash_1 state of
+// Listing 1 (get_key has already staged the key).
+func (c *Cuckoo) Begin(key uint64, cur *model.Cursor) {
+	cur.Reset()
+	cur.Stage = 1
+	cur.Aux[0] = key
+	cur.Addr = c.BucketAddr(hash1(key) & c.mask)
+}
+
+// CheckStep probes the bucket at the cursor (whose line the runtime has
+// already charged/prefetched). On a first-bucket miss it stages the
+// second candidate and returns done=false — the check_failure →
+// hash_2 → check_2 path of Listing 1. After the second probe done is
+// true and cur.Ok/cur.Idx carry the result.
+func (c *Cuckoo) CheckStep(cur *model.Cursor) (done bool) {
+	key := cur.Aux[0]
+	b := (cur.Addr - c.region.Base) / sim.LineBytes
+	base := int(b) * slotsPerBucket
+	for s := 0; s < slotsPerBucket; s++ {
+		if c.used[base+s] && c.keys[base+s] == key {
+			cur.Ok = true
+			cur.Idx = c.vals[base+s]
+			return true
+		}
+	}
+	if cur.Stage == 1 {
+		cur.Stage = 2
+		cur.Addr = c.BucketAddr(hash2(key) & c.mask)
+		return false
+	}
+	cur.Ok = false
+	cur.Idx = -1
+	return true
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"github.com/gunfu-nfv/gunfu/internal/compile"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/stats"
+)
+
+// Ablations isolates the design choices DESIGN.md calls out, beyond
+// the paper's own figures: the prefetching step of Algorithm 1, the
+// P-state resident check, the MSHR budget, and the NFTask switch cost.
+// All run the 130K-flow NAT at 16 interleaved NFTasks.
+func Ablations(o Options) ([]*stats.Table, error) {
+	flows := o.pick(1<<17, 1<<13)
+	warm := o.pickU(20000, 2000)
+	window := o.pickU(100000, 8000)
+
+	run := func(simCfg sim.Config, mutate func(*rt.Config)) (rt.Result, error) {
+		as, prog, src, err := buildNAT(flows, 64, o.Seed)
+		if err != nil {
+			return rt.Result{}, err
+		}
+		core, err := sim.NewCore(simCfg)
+		if err != nil {
+			return rt.Result{}, err
+		}
+		cfg := rt.DefaultConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		w, err := rt.NewWorker(core, as, prog, cfg)
+		if err != nil {
+			return rt.Result{}, err
+		}
+		if _, err := w.Run(src, warm); err != nil {
+			return rt.Result{}, err
+		}
+		return w.Run(src, window)
+	}
+
+	// (a) Scheduler feature ladder.
+	t1 := stats.NewTable(
+		"Ablation A — scheduler features (NAT, 130K flows, 16 NFTasks)",
+		"config", "gbps", "cyc/pkt", "l1hit", "pf-useful/pkt")
+	features := []struct {
+		name   string
+		mutate func(*rt.Config)
+	}{
+		{"interleave only (no prefetch)", func(c *rt.Config) { c.Prefetch = false }},
+		{"prefetch, no resident check", func(c *rt.Config) { c.ResidentCheck = false }},
+		{"full (prefetch + P-state check)", nil},
+	}
+	for _, f := range features {
+		res, err := run(o.simCfg(), f.mutate)
+		if err != nil {
+			return nil, err
+		}
+		t1.AddRow(f.name, stats.F(res.Gbps(), 2), stats.F(res.CyclesPerPacket(), 1),
+			stats.Pct(res.Counters.L1HitRate()),
+			stats.F(float64(res.Counters.PrefetchUseful)/float64(res.Packets), 2))
+	}
+
+	// (b) MSHR budget: memory-level parallelism available to the
+	// prefetcher caps how many streams' fills can be in flight.
+	t2 := stats.NewTable(
+		"Ablation B — MSHR budget (NAT, 130K flows, 16 NFTasks)",
+		"mshrs", "gbps", "pf-dropped/pkt")
+	for _, mshrs := range []int{2, 4, 8, 12, 16, 32} {
+		simCfg := o.simCfg()
+		simCfg.MSHRs = mshrs
+		res, err := run(simCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		t2.AddRow(stats.I(mshrs), stats.F(res.Gbps(), 2),
+			stats.F(float64(res.Counters.PrefetchDropped)/float64(res.Packets), 2))
+	}
+
+	// (b2) Redundant prefetch removal on the length-4 SFC: PRR saves
+	// prefetch-issue instructions but gives up re-prefetching lines the
+	// interleaving pressure may have evicted — a wash-to-slight-loss in
+	// this model, documented in EXPERIMENTS.md.
+	t2b := stats.NewTable(
+		"Ablation B2 — redundant prefetch removal (SFC-4, 16 NFTasks)",
+		"config", "gbps", "pf-issued/pkt")
+	for _, prr := range []bool{false, true} {
+		sfcFlows := o.pick(1<<15, 1<<12)
+		as, prog, src, err := sfcSetup(4, sfcFlows, false, prrOptions(prr), o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runIL(o, as, prog, src, 16, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		name := "PRR off"
+		if prr {
+			name = "PRR on"
+		}
+		t2b.AddRow(name, stats.F(res.Gbps(), 2),
+			stats.F(float64(res.Counters.PrefetchIssued)/float64(res.Packets), 2))
+	}
+
+	// (c) NFTask switch cost: how light the runtime must be for
+	// interleaving to pay (Figure 9's motivation).
+	t3 := stats.NewTable(
+		"Ablation C — NFTask switch cost (NAT, 130K flows, 16 NFTasks)",
+		"switch-cycles", "gbps", "cyc/pkt")
+	for _, cost := range []uint64{4, 12, 24, 48, 96} {
+		simCfg := o.simCfg()
+		simCfg.SwitchCost = cost
+		res, err := run(simCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		t3.AddRow(stats.U(cost), stats.F(res.Gbps(), 2), stats.F(res.CyclesPerPacket(), 1))
+	}
+
+	return []*stats.Table{t1, t2, t2b, t3}, nil
+}
+
+func prrOptions(on bool) compile.SFCOptions {
+	return compile.SFCOptions{RemoveRedundantPrefetches: on}
+}

@@ -1,0 +1,156 @@
+// Package exp contains the experiment harness: one runner per figure
+// of the paper's evaluation (§II and §VII), each regenerating the
+// figure's series as a text table, plus ablation studies over the
+// design knobs DESIGN.md calls out.
+//
+// Runners come in two sizes: the full populations of the paper (the
+// defaults) and a Quick mode with reduced populations for CI and
+// development. The shapes — who wins, by what factor, where the curves
+// turn — hold in both.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/rtc"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/stats"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Quick shrinks populations and windows for fast runs.
+	Quick bool
+	// Seed makes workloads deterministic.
+	Seed int64
+	// Out receives rendered tables; nil discards them.
+	Out io.Writer
+	// Sim overrides the simulated core configuration.
+	Sim *sim.Config
+}
+
+func (o Options) simCfg() sim.Config {
+	if o.Sim != nil {
+		return *o.Sim
+	}
+	return sim.DefaultConfig()
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// pick returns full when !Quick, quick otherwise.
+func (o Options) pick(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+func (o Options) pickU(full, quick uint64) uint64 {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Runner regenerates one figure.
+type Runner func(o Options) ([]*stats.Table, error)
+
+// Runners maps experiment ids to their runners.
+func Runners() map[string]Runner {
+	return map[string]Runner{
+		"fig2":     Fig2,
+		"fig3":     Fig3,
+		"fig9":     Fig9,
+		"fig10":    Fig10,
+		"fig11":    Fig11,
+		"fig12":    Fig12,
+		"fig13":    Fig13,
+		"fig14":    Fig14,
+		"fig15":    Fig15,
+		"ablation": Ablations,
+	}
+}
+
+// Names returns the experiment ids in order.
+func Names() []string {
+	m := Runners()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by id and renders its tables to o.Out.
+func Run(name string, o Options) ([]*stats.Table, error) {
+	r, ok := Runners()[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
+	}
+	tables, err := r(o)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", name, err)
+	}
+	for _, t := range tables {
+		if err := t.Render(o.out()); err != nil {
+			return nil, fmt.Errorf("exp: %s: render: %w", name, err)
+		}
+	}
+	return tables, nil
+}
+
+// runRTC runs prog over src on a fresh core under run-to-completion.
+func runRTC(o Options, as *mem.AddressSpace, prog *model.Program, src rt.Source, warmup, packets uint64) (rt.Result, error) {
+	core, err := sim.NewCore(o.simCfg())
+	if err != nil {
+		return rt.Result{}, err
+	}
+	w, err := rtc.NewWorker(core, as, prog, rtc.DefaultConfig())
+	if err != nil {
+		return rt.Result{}, err
+	}
+	if warmup > 0 {
+		if _, err := w.Run(src, warmup); err != nil {
+			return rt.Result{}, err
+		}
+	}
+	return w.Run(src, packets)
+}
+
+// runIL runs prog over src on a fresh core under the interleaved model
+// with the given task count.
+func runIL(o Options, as *mem.AddressSpace, prog *model.Program, src rt.Source, tasks int, warmup, packets uint64) (rt.Result, error) {
+	core, err := sim.NewCore(o.simCfg())
+	if err != nil {
+		return rt.Result{}, err
+	}
+	cfg := rt.DefaultConfig()
+	cfg.Tasks = tasks
+	if cfg.Batch < 2*tasks {
+		// Keep every NFTask occupied: the rx burst must cover the
+		// interleaving depth or deep sweeps degenerate to Batch tasks.
+		cfg.Batch = 2 * tasks
+	}
+	w, err := rt.NewWorker(core, as, prog, cfg)
+	if err != nil {
+		return rt.Result{}, err
+	}
+	if warmup > 0 {
+		if _, err := w.Run(src, warmup); err != nil {
+			return rt.Result{}, err
+		}
+	}
+	return w.Run(src, packets)
+}

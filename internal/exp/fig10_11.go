@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/nf/nat"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/stats"
+	"github.com/gunfu-nfv/gunfu/internal/traffic"
+)
+
+// taskSweep is the interleaving-depth axis of Figures 10 and 11.
+var taskSweep = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Fig10 reproduces Figure 10: single-core UPF downlink under the
+// interleaved model — throughput across NFTask counts and rule counts,
+// and the L1/L2/IPC micro-architecture story at 16 NFTasks.
+func Fig10(o Options) ([]*stats.Table, error) {
+	sessions := o.pick(1<<15, 1<<11)
+	warm := o.pickU(20000, 2000)
+	window := o.pickU(120000, 8000)
+
+	// (a) Throughput vs interleaved NFTasks, PDRs fixed at 16.
+	t1 := stats.NewTable(
+		"Figure 10(a) — UPF downlink throughput vs interleaved NFTasks (PDRs=16, 64B, 1 core)",
+		"config", "gbps", "mpps", "cyc/pkt", "speedup-vs-rtc")
+	as, prog, src, err := buildUPF(sessions, 16, 64, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := runRTC(o, as, prog, src, warm, window)
+	if err != nil {
+		return nil, err
+	}
+	t1.AddRow("RTC", stats.F(base.Gbps(), 2), stats.F(base.Mpps(), 2),
+		stats.F(base.CyclesPerPacket(), 1), "1.00")
+	for _, tasks := range taskSweep {
+		as, prog, src, err := buildUPF(sessions, 16, 64, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runIL(o, as, prog, src, tasks, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		t1.AddRow("IL-"+stats.I(tasks), stats.F(res.Gbps(), 2), stats.F(res.Mpps(), 2),
+			stats.F(res.CyclesPerPacket(), 1), stats.F(res.Gbps()/base.Gbps(), 2))
+	}
+
+	// (b,c,d) Micro-architecture metrics vs rule count, RTC vs IL-16.
+	pdrSweep := []int{2, 8, 16, 32, 64}
+	if o.Quick {
+		pdrSweep = []int{2, 16, 64}
+	}
+	t2 := stats.NewTable(
+		"Figure 10(b,c,d) — UPF cache utilization and IPC vs PDRs (16 NFTasks vs RTC)",
+		"pdrs", "rtc-l1hit", "il16-l1hit", "rtc-l2hit", "il16-l2hit", "rtc-ipc", "il16-ipc")
+	for _, pdrs := range pdrSweep {
+		as, prog, src, err := buildUPF(sessions, pdrs, 64, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rtcRes, err := runRTC(o, as, prog, src, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		as2, prog2, src2, err := buildUPF(sessions, pdrs, 64, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ilRes, err := runIL(o, as2, prog2, src2, 16, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		t2.AddRow(
+			stats.I(pdrs),
+			stats.Pct(rtcRes.Counters.L1HitRate()),
+			stats.Pct(ilRes.Counters.L1HitRate()),
+			stats.Pct(rtcRes.Counters.L2HitRate()),
+			stats.Pct(ilRes.Counters.L2HitRate()),
+			stats.F(rtcRes.Counters.IPC(), 2),
+			stats.F(ilRes.Counters.IPC(), 2),
+		)
+	}
+	return []*stats.Table{t1, t2}, nil
+}
+
+// buildNAT assembles a pre-populated NAT program plus its workload.
+func buildNAT(flows, packetBytes int, seed int64) (*mem.AddressSpace, *model.Program, rt.Source, error) {
+	as := mem.NewAddressSpace()
+	n, err := nat.New(as, nat.Config{MaxFlows: flows})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, err := traffic.NewFlowGen(traffic.FlowGenConfig{
+		Flows: flows, PacketBytes: packetBytes, Order: traffic.OrderUniform, Seed: seed,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := 0; i < flows; i++ {
+		if err := n.AddFlow(g.FlowTuple(i), int32(i)); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	prog, err := n.Program()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return as, prog, g, nil
+}
+
+// Fig11 reproduces Figure 11: the NAT under granular decomposition —
+// one NFTask is slower than RTC (scheduler overhead with nothing to
+// overlap), the benefit appears from 4 streams, peaks near 16, and
+// degrades at 64 when prefetched lines start being evicted before use.
+func Fig11(o Options) ([]*stats.Table, error) {
+	flows := o.pick(1<<17, 1<<13)
+	warm := o.pickU(20000, 2000)
+	window := o.pickU(150000, 10000)
+
+	t := stats.NewTable(
+		"Figure 11 — NAT throughput and cache utilization vs interleaved NFTasks (130K flows, 64B, 1 core)",
+		"config", "gbps", "mpps", "l1hit", "l2hit", "ipc", "speedup-vs-rtc")
+
+	as, prog, src, err := buildNAT(flows, 64, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := runRTC(o, as, prog, src, warm, window)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("RTC", stats.F(base.Gbps(), 2), stats.F(base.Mpps(), 2),
+		stats.Pct(base.Counters.L1HitRate()), stats.Pct(base.Counters.L2HitRate()),
+		stats.F(base.Counters.IPC(), 2), "1.00")
+
+	for _, tasks := range taskSweep {
+		as, prog, src, err := buildNAT(flows, 64, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runIL(o, as, prog, src, tasks, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("IL-"+stats.I(tasks), stats.F(res.Gbps(), 2), stats.F(res.Mpps(), 2),
+			stats.Pct(res.Counters.L1HitRate()), stats.Pct(res.Counters.L2HitRate()),
+			stats.F(res.Counters.IPC(), 2), stats.F(res.Gbps()/base.Gbps(), 2))
+	}
+	return []*stats.Table{t}, nil
+}

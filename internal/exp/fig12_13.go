@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/gunfu-nfv/gunfu/internal/compile"
+	"github.com/gunfu-nfv/gunfu/internal/director"
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/nf/amf"
+	"github.com/gunfu-nfv/gunfu/internal/nf/fw"
+	"github.com/gunfu-nfv/gunfu/internal/nf/lb"
+	"github.com/gunfu-nfv/gunfu/internal/nf/monitor"
+	"github.com/gunfu-nfv/gunfu/internal/nf/nat"
+	"github.com/gunfu-nfv/gunfu/internal/pkt"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/stats"
+	"github.com/gunfu-nfv/gunfu/internal/traffic"
+)
+
+// Fig12 reproduces Figure 12: the granularly decomposed AMF with 16
+// interleaved NFTasks against the RTC baseline, per registration
+// message type, plus the extra gain from data-packing the UE context
+// (packing each handler's co-accessed fields into adjacent lines).
+func Fig12(o Options) ([]*stats.Table, error) {
+	ues := o.pick(1<<17, 1<<12)
+	warm := o.pickU(10000, 1000)
+	window := o.pickU(60000, 5000)
+
+	packed, err := compile.PackLayout(amf.Fields(), amf.AccessGroups())
+	if err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable(
+		"Figure 12 — AMF registration messages: RTC vs 16 interleaved NFTasks vs +data packing (UEs=2^17)",
+		"message", "rtc-kmsg/s", "il16-kmsg/s", "il16-speedup", "dp-kmsg/s", "dp-gain", "rtc-llcm/msg", "il16-llcm/msg")
+	// Message type 0 runs the full interleaved call flow — the
+	// cycle-weighted aggregate, where the state-heaviest messages
+	// dominate and data packing shows its net effect.
+	for m := uint8(0); int(m) <= traffic.NumAMFMessages; m++ {
+		as, prog, src, _, err := buildAMF(ues, m, o.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		rtcRes, err := runRTC(o, as, prog, src, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		as2, prog2, src2, _, err := buildAMF(ues, m, o.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		ilRes, err := runIL(o, as2, prog2, src2, 16, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		as3, prog3, src3, _, err := buildAMF(ues, m, o.Seed, packed)
+		if err != nil {
+			return nil, err
+		}
+		dpRes, err := runIL(o, as3, prog3, src3, 16, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		_, _, rtcLLC := rtcRes.MissesPerPacket()
+		_, _, ilLLC := ilRes.MissesPerPacket()
+		label := traffic.AMFMessageName(m)
+		if m == 0 {
+			label = "FullCallFlow"
+		}
+		t.AddRow(
+			label,
+			stats.F(rtcRes.Mpps()*1000, 1),
+			stats.F(ilRes.Mpps()*1000, 1),
+			stats.F(ilRes.Mpps()/rtcRes.Mpps(), 2),
+			stats.F(dpRes.Mpps()*1000, 1),
+			stats.F(dpRes.Mpps()/ilRes.Mpps(), 2),
+			stats.F(rtcLLC, 2),
+			stats.F(ilLLC, 2),
+		)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// sfcSetup builds one SFC configuration: chain of the given length,
+// optionally over fused (data-packed) per-flow pools, compiled with the
+// given options, pre-populated, with its generator.
+func sfcSetup(length, flows int, fused bool, opts compile.SFCOptions, seed int64) (*mem.AddressSpace, *model.Program, rt.Source, error) {
+	as := mem.NewAddressSpace()
+	var chain []compile.Chainable
+	var err error
+	if fused {
+		chain, err = buildFusedChain(as, length, flows)
+	} else {
+		chain, err = director.BuildChain(as, length, flows)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	g, err := traffic.NewFlowGen(traffic.FlowGenConfig{
+		Flows: flows, PacketBytes: 64, Order: traffic.OrderUniform, Seed: seed,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tuples := make([]pkt.FiveTuple, flows)
+	for i := range tuples {
+		tuples[i] = g.FlowTuple(i)
+	}
+	if err := compile.PopulateFlows(chain, tuples); err != nil {
+		return nil, nil, nil, err
+	}
+	prog, err := compile.BuildSFC(fmt.Sprintf("sfc%d", length), chain, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return as, prog, g, nil
+}
+
+// buildFusedChain constructs the paper's SFC with every NF's per-flow
+// record placed in one fused, co-access-packed pool — the DP-for-SFC
+// optimization.
+func buildFusedChain(as *mem.AddressSpace, length, flows int) ([]compile.Chainable, error) {
+	if length < 2 || length > 6 {
+		return nil, fmt.Errorf("exp: SFC length %d outside [2,6]", length)
+	}
+	members := []compile.FuseMember{
+		{Name: "lb", Fields: lb.FlowFields(), Hot: lb.HotFields()},
+		{Name: "nat", Fields: nat.FlowFields(), Hot: nat.HotFields()},
+		{Name: "nm", Fields: monitor.FlowFields(), Hot: monitor.HotFields()},
+	}
+	for i := 4; i <= length; i++ {
+		members = append(members, compile.FuseMember{
+			Name: fmt.Sprintf("fw%d", i-3), Fields: fw.FlowFields(), Hot: fw.HotFields(),
+		})
+	}
+	if length < len(members) {
+		members = members[:length]
+	}
+	states, err := compile.FuseStates(as, "sfc", members, flows)
+	if err != nil {
+		return nil, err
+	}
+	l, err := lb.New(as, lb.Config{MaxFlows: flows, States: states["lb"]})
+	if err != nil {
+		return nil, err
+	}
+	n, err := nat.New(as, nat.Config{MaxFlows: flows, States: states["nat"]})
+	if err != nil {
+		return nil, err
+	}
+	chain := []compile.Chainable{l, n}
+	if length >= 3 {
+		m, err := monitor.New(as, monitor.Config{MaxFlows: flows, States: states["nm"]})
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, m)
+	}
+	for i := 4; i <= length; i++ {
+		name := fmt.Sprintf("fw%d", i-3)
+		f, err := fw.New(as, fw.Config{
+			Name: name, MaxFlows: flows,
+			Policy: fw.DefaultPolicy(8 * (i - 2)),
+			States: states[name],
+		})
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, f)
+	}
+	return chain, nil
+}
+
+// Fig13 reproduces Figure 13: SFCs of length 2–6 under RTC, the
+// interleaved model, +data packing (fused per-flow pools), and
+// +redundant matching removal — the full compiler-optimization ladder,
+// with MR's ~6x at length 6 coming from eliminating five of the six
+// pointer-chasing classifier walks.
+func Fig13(o Options) ([]*stats.Table, error) {
+	flows := o.pick(1<<17, 1<<12)
+	warm := o.pickU(15000, 1500)
+	window := o.pickU(80000, 6000)
+
+	lengths := []int{2, 3, 4, 5, 6}
+	if o.Quick {
+		lengths = []int{2, 4, 6}
+	}
+
+	t := stats.NewTable(
+		"Figure 13(a,b) — SFC throughput by chain length (130K flows, 64B, 1 core, 16 NFTasks)",
+		"len", "rtc-gbps", "il16-gbps", "il+dp-gbps", "il+dp+mr-gbps", "mr-speedup-vs-rtc")
+	t2 := stats.NewTable(
+		"Figure 13(c) — SFC IPC by configuration",
+		"len", "rtc-ipc", "il16-ipc", "il+dp-ipc", "il+dp+mr-ipc")
+
+	for _, length := range lengths {
+		// RTC baseline (plain chain, no optimizations).
+		as, prog, src, err := sfcSetup(length, flows, false, compile.SFCOptions{}, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rtcRes, err := runRTC(o, as, prog, src, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		// Interleaved.
+		as, prog, src, err = sfcSetup(length, flows, false, compile.SFCOptions{}, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ilRes, err := runIL(o, as, prog, src, 16, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		// Interleaved + data packing (fused pools).
+		as, prog, src, err = sfcSetup(length, flows, true, compile.SFCOptions{}, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		dpRes, err := runIL(o, as, prog, src, 16, warm, window)
+		if err != nil {
+			return nil, err
+		}
+		// Interleaved + DP + redundant matching removal.
+		as, prog, src, err = sfcSetup(length, flows, true, compile.SFCOptions{RemoveRedundantMatching: true}, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mrRes, err := runIL(o, as, prog, src, 16, warm, window)
+		if err != nil {
+			return nil, err
+		}
+
+		t.AddRow(
+			stats.I(length),
+			stats.F(rtcRes.Gbps(), 2),
+			stats.F(ilRes.Gbps(), 2),
+			stats.F(dpRes.Gbps(), 2),
+			stats.F(mrRes.Gbps(), 2),
+			stats.F(mrRes.Gbps()/rtcRes.Gbps(), 2),
+		)
+		t2.AddRow(
+			stats.I(length),
+			stats.F(rtcRes.Counters.IPC(), 2),
+			stats.F(ilRes.Counters.IPC(), 2),
+			stats.F(dpRes.Counters.IPC(), 2),
+			stats.F(mrRes.Counters.IPC(), 2),
+		)
+	}
+	return []*stats.Table{t, t2}, nil
+}

@@ -1,0 +1,142 @@
+// Package mem manages the simulated address space that NFStates live in.
+//
+// The simulator in internal/sim charges cycles by address; this package
+// hands out the addresses: regions for flow tables, pre-allocated
+// datablock pools for per-flow and sub-flow state (the paper's §V "NF
+// Management"), arenas for pointer-linked structures such as tree nodes,
+// and record layouts whose field placement is the target of the
+// compiler's data-packing optimization (§VI-B).
+//
+// No packet or state bytes are stored at these addresses — the actual
+// data lives in ordinary Go values — but every address is unique and
+// stable, so the cache simulator sees exactly the footprint and reuse
+// pattern the real system would produce.
+package mem
+
+import (
+	"fmt"
+
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+// AddressSpace hands out non-overlapping, line-aligned address ranges.
+// The zero value is not usable; construct with NewAddressSpace.
+type AddressSpace struct {
+	next uint64
+}
+
+// NewAddressSpace returns an address space whose allocations start above
+// a guard page so that address 0 is never valid.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{next: 1 << 16}
+}
+
+// Reserve returns the base of a fresh range of the given size, aligned
+// to align bytes (align must be a power of two; 0 means line-aligned).
+func (s *AddressSpace) Reserve(size, align uint64) uint64 {
+	if align == 0 {
+		align = sim.LineBytes
+	}
+	base := (s.next + align - 1) &^ (align - 1)
+	s.next = base + size
+	return base
+}
+
+// Used returns the total span of address space handed out so far.
+func (s *AddressSpace) Used() uint64 { return s.next }
+
+// Region is a named contiguous block of simulated memory.
+type Region struct {
+	// Name identifies the region in dumps and errors.
+	Name string
+	// Base is the first address; Size the length in bytes.
+	Base, Size uint64
+}
+
+// Contains reports whether [addr, addr+n) falls inside the region.
+func (r Region) Contains(addr, n uint64) bool {
+	return addr >= r.Base && addr+n <= r.Base+r.Size
+}
+
+// Pool is a pre-allocated table of fixed-size entries, the paper's
+// "datablocks" for per-flow and sub-flow state: sized at initialization
+// to entrySize × maximum concurrency, with match results expressed as
+// entry indexes into the pool.
+type Pool struct {
+	region    Region
+	entrySize uint64
+	count     int
+}
+
+// NewPool reserves a pool of count entries of entrySize bytes each.
+// Entries are padded to the cache-line grid so they never share lines,
+// and to an odd line count so the entry stride is co-prime with any
+// power-of-two cache set count — the standard conflict-avoiding
+// padding that keeps same-offset fields of different records from
+// piling onto a fraction of the sets.
+func NewPool(as *AddressSpace, name string, entrySize uint64, count int) (*Pool, error) {
+	if entrySize == 0 || count <= 0 {
+		return nil, fmt.Errorf("mem: pool %s: entrySize and count must be positive", name)
+	}
+	padded := (entrySize + sim.LineBytes - 1) &^ (sim.LineBytes - 1)
+	if (padded/sim.LineBytes)%2 == 0 {
+		padded += sim.LineBytes
+	}
+	base := as.Reserve(padded*uint64(count), sim.LineBytes)
+	return &Pool{
+		region:    Region{Name: name, Base: base, Size: padded * uint64(count)},
+		entrySize: padded,
+		count:     count,
+	}, nil
+}
+
+// Addr returns the base address of entry i.
+func (p *Pool) Addr(i int) (uint64, error) {
+	if i < 0 || i >= p.count {
+		return 0, fmt.Errorf("mem: pool %s: index %d out of range [0,%d)", p.region.Name, i, p.count)
+	}
+	return p.region.Base + uint64(i)*p.entrySize, nil
+}
+
+// MustAddr is Addr for indexes the caller has already validated (e.g. a
+// match result previously stored into the pool); it panics on misuse,
+// which indicates a runtime bug rather than bad input.
+func (p *Pool) MustAddr(i int) uint64 {
+	a, err := p.Addr(i)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// EntrySize returns the padded per-entry size in bytes.
+func (p *Pool) EntrySize() uint64 { return p.entrySize }
+
+// Count returns the number of entries.
+func (p *Pool) Count() int { return p.count }
+
+// Region returns the pool's address region.
+func (p *Pool) Region() Region { return p.region }
+
+// Arena allocates individually-addressed blocks, used for pointer-linked
+// match structures (tree nodes, hash buckets) whose traversal is the
+// pointer-chasing workload the paper's matching actions exhibit.
+type Arena struct {
+	as   *AddressSpace
+	name string
+	used uint64
+}
+
+// NewArena returns an arena drawing from as.
+func NewArena(as *AddressSpace, name string) *Arena {
+	return &Arena{as: as, name: name}
+}
+
+// Alloc reserves size bytes aligned to a cache line and returns the base.
+func (a *Arena) Alloc(size uint64) uint64 {
+	a.used += size
+	return a.as.Reserve(size, sim.LineBytes)
+}
+
+// Used returns the bytes allocated from this arena.
+func (a *Arena) Used() uint64 { return a.used }

@@ -1,0 +1,272 @@
+package upf
+
+import (
+	"testing"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/pkt"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/rtc"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/traffic"
+)
+
+func newUPF(t *testing.T, cfg Config) *UPF {
+	t.Helper()
+	u, err := New(mem.NewAddressSpace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(mem.NewAddressSpace(), Config{Sessions: 0, PDRsPerSession: 4}); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+	if _, err := New(mem.NewAddressSpace(), Config{Sessions: 4, PDRsPerSession: 0}); err == nil {
+		t.Fatal("zero PDRs accepted")
+	}
+}
+
+func TestProgramsBuild(t *testing.T) {
+	u := newUPF(t, Config{Sessions: 32, PDRsPerSession: 4})
+	if _, err := u.DownlinkProgram(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.UplinkProgram(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Tree().Sessions() != 32 {
+		t.Fatalf("tree sessions = %d", u.Tree().Sessions())
+	}
+}
+
+func runRTC(t *testing.T, prog *model.Program, src rt.Source, n uint64) rt.Result {
+	t.Helper()
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := rtc.NewWorker(core, mem.NewAddressSpace(), prog, rtc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDownlinkEncapsulates(t *testing.T) {
+	u := newUPF(t, Config{Sessions: 16, PDRsPerSession: 4})
+	prog, err := u.DownlinkProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := traffic.NewMGWGen(traffic.MGWConfig{Sessions: 16, PDRs: 4, PacketBytes: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runRTC(t, prog, g, 500)
+	if res.Packets != 500 {
+		t.Fatalf("processed %d packets", res.Packets)
+	}
+	if u.Drops() != 0 {
+		t.Fatalf("dropped %d packets with all-forward FARs", u.Drops())
+	}
+	var total uint64
+	for i := int32(0); i < 16; i++ {
+		s, err := u.Session(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += s.UsagePkts
+	}
+	if total != 500 {
+		t.Fatalf("session usage sums to %d, want 500", total)
+	}
+	var pdrTotal uint64
+	for i := int32(0); i < 64; i++ {
+		p, err := u.PDRRecord(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pdrTotal += p.Pkts
+	}
+	if pdrTotal != 500 {
+		t.Fatalf("PDR counters sum to %d, want 500", pdrTotal)
+	}
+}
+
+func TestDownlinkPacketGetsTEID(t *testing.T) {
+	u := newUPF(t, Config{Sessions: 4, PDRsPerSession: 2})
+	prog, err := u.DownlinkProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := traffic.NewMGWGen(traffic.MGWConfig{Sessions: 4, PDRs: 2, PacketBytes: 128, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Next()
+	sessIdx := int32(p.Tuple.DstIP - 0x0a000000)
+	src := &oneShot{p: p}
+	runRTC(t, prog, src, 0)
+	want, err := u.Session(sessIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TEID != want.TEIDOut {
+		t.Fatalf("packet TEID = %#x, want %#x", p.TEID, want.TEIDOut)
+	}
+	if p.WireLen != 128+pkt.EthLen+pkt.IPv4Len+pkt.UDPLen+pkt.GTPULen {
+		t.Fatalf("WireLen after encap = %d", p.WireLen)
+	}
+	// The GTP-U header must be on the wire.
+	h, err := pkt.DecodeGTPU(p.Data[pkt.EthLen+pkt.IPv4Len+pkt.UDPLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TEID != want.TEIDOut || h.MsgType != 0xFF {
+		t.Fatalf("wire GTP-U header = %+v", h)
+	}
+}
+
+type oneShot struct {
+	p    *pkt.Packet
+	done bool
+}
+
+func (s *oneShot) Next() *pkt.Packet {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	return s.p
+}
+
+func TestUnknownUEDropped(t *testing.T) {
+	u := newUPF(t, Config{Sessions: 4, PDRsPerSession: 2})
+	prog, err := u.DownlinkProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := traffic.NewFlowGen(traffic.FlowGenConfig{Flows: 1, PacketBytes: 128, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Next() // dst IP is not a UE address
+	runRTC(t, prog, &oneShot{p: p}, 0)
+	if u.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", u.Drops())
+	}
+}
+
+func TestFARDrop(t *testing.T) {
+	u := newUPF(t, Config{Sessions: 2, PDRsPerSession: 4, DropEvery: 2})
+	prog, err := u.DownlinkProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := traffic.NewMGWGen(traffic.MGWConfig{Sessions: 2, PDRs: 4, PacketBytes: 128, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRTC(t, prog, g, 400)
+	if u.Drops() == 0 {
+		t.Fatal("DropEvery=2 produced no drops")
+	}
+	// Dropped packets must not update session usage.
+	var usage uint64
+	for i := int32(0); i < 2; i++ {
+		s, _ := u.Session(i)
+		usage += s.UsagePkts
+	}
+	if usage+u.Drops() != 400 {
+		t.Fatalf("usage %d + drops %d != 400", usage, u.Drops())
+	}
+}
+
+func TestUplinkDecap(t *testing.T) {
+	u := newUPF(t, Config{Sessions: 8, PDRsPerSession: 2})
+	prog, err := u.UplinkProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := traffic.NewFlowGen(traffic.FlowGenConfig{Flows: 8, PacketBytes: 256, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Next()
+	p.TEID = 0x10003 // session 3's tunnel
+	runRTC(t, prog, &oneShot{p: p}, 0)
+	s, err := u.Session(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UsagePkts != 1 {
+		t.Fatalf("uplink usage = %d, want 1", s.UsagePkts)
+	}
+	if p.TEID != 0 {
+		t.Fatal("TEID not cleared after decap")
+	}
+	if p.WireLen >= 256 {
+		t.Fatalf("WireLen after decap = %d, want < 256", p.WireLen)
+	}
+}
+
+func TestSessionAndPDRBounds(t *testing.T) {
+	u := newUPF(t, Config{Sessions: 2, PDRsPerSession: 2})
+	if _, err := u.Session(2); err == nil {
+		t.Fatal("out-of-range session read accepted")
+	}
+	if _, err := u.PDRRecord(4); err == nil {
+		t.Fatal("out-of-range PDR read accepted")
+	}
+}
+
+// TestExecutionModelsAgree verifies both runtimes produce identical UPF
+// accounting on the same workload.
+func TestExecutionModelsAgree(t *testing.T) {
+	const sessions, packets = 64, 3000
+	build := func() (*UPF, *model.Program, *traffic.MGWGen) {
+		u := newUPF(t, Config{Sessions: sessions, PDRsPerSession: 8})
+		prog, err := u.DownlinkProgram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := traffic.NewMGWGen(traffic.MGWConfig{Sessions: sessions, PDRs: 8, PacketBytes: 64, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u, prog, g
+	}
+
+	u1, p1, g1 := build()
+	runRTC(t, p1, g1, packets)
+
+	u2, p2, g2 := build()
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := rt.NewWorker(core, mem.NewAddressSpace(), p2, rt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(g2, packets); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := int32(0); i < sessions; i++ {
+		s1, _ := u1.Session(i)
+		s2, _ := u2.Session(i)
+		if s1.UsagePkts != s2.UsagePkts || s1.UsageBytes != s2.UsageBytes {
+			t.Fatalf("session %d diverged: rtc{%d,%d} il{%d,%d}",
+				i, s1.UsagePkts, s1.UsageBytes, s2.UsagePkts, s2.UsageBytes)
+		}
+	}
+}

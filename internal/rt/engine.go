@@ -1,0 +1,117 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+// CoreSetup is everything one engine core needs: a compiled program
+// over per-core state (pools, match structures) and a packet source
+// carrying that core's share of the flows. Building per-core state is
+// the caller's job because it is NF-specific; the share-nothing split
+// mirrors the paper's RSS flow steering.
+type CoreSetup struct {
+	// NewWorker constructs the core's worker (program, pools and source
+	// are captured by the closure). It runs on the engine goroutine
+	// assigned to this core.
+	NewWorker func(core *sim.Core) (*Worker, Source, error)
+}
+
+// Engine runs one worker per simulated core in parallel host
+// goroutines. Cores share nothing — each has its own cache hierarchy,
+// pools and match structures — so scaling is linear by construction,
+// matching the paper's multi-core results (Figs 14, 15).
+type Engine struct {
+	simCfg sim.Config
+	setups []CoreSetup
+}
+
+// NewEngine builds an engine over the given per-core setups.
+func NewEngine(simCfg sim.Config, setups []CoreSetup) (*Engine, error) {
+	if len(setups) == 0 {
+		return nil, fmt.Errorf("rt: engine needs at least one core")
+	}
+	return &Engine{simCfg: simCfg, setups: setups}, nil
+}
+
+// Run executes all cores, each processing up to perCorePackets, and
+// returns per-core results in core order.
+func (e *Engine) Run(perCorePackets uint64) ([]Result, error) {
+	results := make([]Result, len(e.setups))
+	errs := make([]error, len(e.setups))
+	var wg sync.WaitGroup
+	for i := range e.setups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			core, err := sim.NewCore(e.simCfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			w, src, err := e.setups[i].NewWorker(core)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = w.Run(src, perCorePackets)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rt: core %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Aggregate combines per-core results into a fleet view. Since cores
+// run concurrently, the aggregate window is the slowest core's cycle
+// span and throughput is the sum of per-core rates.
+func Aggregate(results []Result) Result {
+	var agg Result
+	for _, r := range results {
+		agg.Packets += r.Packets
+		agg.AccessCycles += r.AccessCycles
+		agg.Counters = addCounters(agg.Counters, r.Counters)
+		if r.Cycles > agg.Cycles {
+			agg.Cycles = r.Cycles
+		}
+		agg.FreqHz = r.FreqHz
+	}
+	// Sum of per-core throughputs expressed through the common window:
+	// scale bits so Bits/window == Σ bits_i/window_i.
+	if agg.Cycles > 0 {
+		for _, r := range results {
+			if r.Cycles > 0 {
+				agg.Bits += r.Bits * float64(agg.Cycles) / float64(r.Cycles)
+			}
+		}
+	}
+	return agg
+}
+
+func addCounters(a, b sim.Counters) sim.Counters {
+	return sim.Counters{
+		Cycles:            a.Cycles + b.Cycles,
+		Instructions:      a.Instructions + b.Instructions,
+		Reads:             a.Reads + b.Reads,
+		Writes:            a.Writes + b.Writes,
+		L1Hits:            a.L1Hits + b.L1Hits,
+		L1Misses:          a.L1Misses + b.L1Misses,
+		L2Hits:            a.L2Hits + b.L2Hits,
+		L2Misses:          a.L2Misses + b.L2Misses,
+		LLCHits:           a.LLCHits + b.LLCHits,
+		LLCMisses:         a.LLCMisses + b.LLCMisses,
+		PrefetchIssued:    a.PrefetchIssued + b.PrefetchIssued,
+		PrefetchDropped:   a.PrefetchDropped + b.PrefetchDropped,
+		PrefetchRedundant: a.PrefetchRedundant + b.PrefetchRedundant,
+		PrefetchUseful:    a.PrefetchUseful + b.PrefetchUseful,
+		PrefetchLate:      a.PrefetchLate + b.PrefetchLate,
+		StallCycles:       a.StallCycles + b.StallCycles,
+		TaskSwitches:      a.TaskSwitches + b.TaskSwitches,
+	}
+}

@@ -1,0 +1,293 @@
+package rt_test
+
+import (
+	"testing"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/nf/nat"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/traffic"
+)
+
+// buildNAT returns a pre-populated NAT program and matching generator.
+func buildNAT(t testing.TB, flows int) (*model.Program, *traffic.FlowGen) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	n, err := nat.New(as, nat.Config{MaxFlows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := traffic.NewFlowGen(traffic.FlowGenConfig{Flows: flows, PacketBytes: 64, Order: traffic.OrderUniform, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < flows; i++ {
+		if err := n.AddFlow(g.FlowTuple(i), int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := n.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, g
+}
+
+func newWorker(t testing.TB, prog *model.Program, cfg rt.Config) *rt.Worker {
+	t.Helper()
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := rt.NewWorker(core, mem.NewAddressSpace(), prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestConfigValidation(t *testing.T) {
+	prog, _ := buildNAT(t, 16)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []rt.Config{
+		{Tasks: 0, Batch: 32, RingSlots: 16, SlotBytes: 2048},
+		{Tasks: 4, Batch: 0, RingSlots: 16, SlotBytes: 2048},
+		{Tasks: 4, Batch: 32, RingSlots: 0, SlotBytes: 2048},
+		{Tasks: 4, Batch: 32, RingSlots: 16, SlotBytes: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := rt.NewWorker(core, mem.NewAddressSpace(), prog, cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunProcessesExactly(t *testing.T) {
+	prog, g := buildNAT(t, 64)
+	w := newWorker(t, prog, rt.DefaultConfig())
+	res, err := w.Run(g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 1000 {
+		t.Fatalf("Packets = %d, want 1000", res.Packets)
+	}
+	if res.Bits != 1000*64*8 {
+		t.Fatalf("Bits = %v", res.Bits)
+	}
+	if res.Cycles == 0 || res.FreqHz == 0 {
+		t.Fatalf("window empty: %+v", res)
+	}
+}
+
+func TestRunExhaustedSource(t *testing.T) {
+	prog, g := buildNAT(t, 64)
+	w := newWorker(t, prog, rt.DefaultConfig())
+	res, err := w.Run(traffic.NewLimited(g, 100), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 100 {
+		t.Fatalf("Packets = %d, want 100", res.Packets)
+	}
+	// A second Run on the drained source does nothing.
+	res, err = w.Run(traffic.NewLimited(g, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 0 {
+		t.Fatalf("drained source produced %d packets", res.Packets)
+	}
+}
+
+func TestRunWindowsAreDeltas(t *testing.T) {
+	prog, g := buildNAT(t, 64)
+	w := newWorker(t, prog, rt.DefaultConfig())
+	r1, err := w.Run(g, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := w.Run(g, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Counters.Cycles >= r1.Counters.Cycles+r2.Cycles {
+		t.Fatal("second window includes first window's counters")
+	}
+	// Warm run should be no slower than cold (same packet count).
+	if r2.Cycles > r1.Cycles*3/2 {
+		t.Fatalf("warm window much slower: %d vs %d", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestResultMath(t *testing.T) {
+	r := rt.Result{Packets: 1000, Bits: 512000, Cycles: 1000000, FreqHz: 1e9}
+	if got := r.Gbps(); got < 0.5119 || got > 0.5121 {
+		t.Fatalf("Gbps = %v", got)
+	}
+	if got := r.Mpps(); got < 0.99 || got > 1.01 {
+		t.Fatalf("Mpps = %v", got)
+	}
+	if got := r.CyclesPerPacket(); got != 1000 {
+		t.Fatalf("CyclesPerPacket = %v", got)
+	}
+	r.Counters.L1Misses = 2000
+	l1, _, _ := r.MissesPerPacket()
+	if l1 != 2 {
+		t.Fatalf("l1 misses per packet = %v", l1)
+	}
+	var zero rt.Result
+	if zero.Gbps() != 0 || zero.Mpps() != 0 || zero.CyclesPerPacket() != 0 {
+		t.Fatal("zero result must report zeros")
+	}
+	a, b, c := zero.MissesPerPacket()
+	if a != 0 || b != 0 || c != 0 {
+		t.Fatal("zero result misses per packet must be zero")
+	}
+}
+
+func TestPrefetchingHelps(t *testing.T) {
+	const flows, packets = 32768, 20000
+
+	run := func(prefetch bool) rt.Result {
+		prog, g := buildNAT(t, flows)
+		cfg := rt.DefaultConfig()
+		cfg.Prefetch = prefetch
+		w := newWorker(t, prog, cfg)
+		if _, err := w.Run(g, 5000); err != nil { // warm
+			t.Fatal(err)
+		}
+		res, err := w.Run(g, packets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	with := run(true)
+	without := run(false)
+	if with.Cycles >= without.Cycles {
+		t.Fatalf("prefetching did not help: with=%d without=%d cycles", with.Cycles, without.Cycles)
+	}
+	if with.Counters.PrefetchIssued == 0 {
+		t.Fatal("no prefetches issued with prefetching on")
+	}
+	if without.Counters.PrefetchIssued != 0 {
+		t.Fatal("prefetches issued with prefetching off")
+	}
+}
+
+// TestInterleavingShape asserts the paper's Figure 11 result: one task
+// is slower than many, throughput peaks in the middle of the sweep, and
+// heavy oversubscription degrades from cache contention.
+func TestInterleavingShape(t *testing.T) {
+	const flows, packets = 32768, 30000
+	gbps := func(tasks int) float64 {
+		prog, g := buildNAT(t, flows)
+		cfg := rt.DefaultConfig()
+		cfg.Tasks = tasks
+		w := newWorker(t, prog, cfg)
+		if _, err := w.Run(g, 5000); err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Run(g, packets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Gbps()
+	}
+	one, sixteen, sixtyFour := gbps(1), gbps(16), gbps(64)
+	if sixteen < one*1.5 {
+		t.Fatalf("16 tasks (%.2f Gbps) not clearly faster than 1 (%.2f)", sixteen, one)
+	}
+	if sixtyFour >= sixteen {
+		t.Fatalf("64 tasks (%.2f Gbps) did not degrade from 16 (%.2f)", sixtyFour, sixteen)
+	}
+}
+
+func TestEngineParallelCores(t *testing.T) {
+	setups := make([]rt.CoreSetup, 4)
+	for i := range setups {
+		setups[i] = rt.CoreSetup{
+			NewWorker: func(core *sim.Core) (*rt.Worker, rt.Source, error) {
+				as := mem.NewAddressSpace()
+				n, err := nat.New(as, nat.Config{MaxFlows: 256})
+				if err != nil {
+					return nil, nil, err
+				}
+				g, err := traffic.NewFlowGen(traffic.FlowGenConfig{Flows: 256, PacketBytes: 64, Seed: 3})
+				if err != nil {
+					return nil, nil, err
+				}
+				for f := 0; f < 256; f++ {
+					if err := n.AddFlow(g.FlowTuple(f), int32(f)); err != nil {
+						return nil, nil, err
+					}
+				}
+				prog, err := n.Program()
+				if err != nil {
+					return nil, nil, err
+				}
+				w, err := rt.NewWorker(core, as, prog, rt.DefaultConfig())
+				return w, g, err
+			},
+		}
+	}
+	eng, err := rt.NewEngine(sim.DefaultConfig(), setups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := eng.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d cores", len(results))
+	}
+	agg := rt.Aggregate(results)
+	if agg.Packets != 8000 {
+		t.Fatalf("aggregate packets = %d, want 8000", agg.Packets)
+	}
+	// Four identical cores must scale ~linearly vs one.
+	if agg.Gbps() < results[0].Gbps()*3 {
+		t.Fatalf("4-core aggregate %.2f Gbps < 3x single core %.2f", agg.Gbps(), results[0].Gbps())
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := rt.NewEngine(sim.DefaultConfig(), nil); err == nil {
+		t.Fatal("empty engine accepted")
+	}
+}
+
+func TestEngineWorkerError(t *testing.T) {
+	eng, err := rt.NewEngine(sim.DefaultConfig(), []rt.CoreSetup{{
+		NewWorker: func(core *sim.Core) (*rt.Worker, rt.Source, error) {
+			return nil, nil, errFake
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(10); err == nil {
+		t.Fatal("worker construction error not surfaced")
+	}
+}
+
+var errFake = &fakeError{}
+
+type fakeError struct{}
+
+func (*fakeError) Error() string { return "fake" }
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := rt.Aggregate(nil)
+	if agg.Packets != 0 || agg.Gbps() != 0 {
+		t.Fatalf("empty aggregate = %+v", agg)
+	}
+}

@@ -1,0 +1,285 @@
+// Package rt is the GuNFu runtime (§V of the paper): the per-core
+// worker that executes a compiled Program under the interleaved
+// function-stream execution model.
+//
+// The worker keeps max_interleaved NFTasks in flight. Following the
+// paper's Algorithm 1, each scheduler visit to a task either issues the
+// prefetches for the task's next NFAction and switches away (so the
+// fill overlaps other streams' work), or — when the task's P-state says
+// its NFState is resident — executes the action, takes the FSM
+// transition, and evaluates the fetching function for the next control
+// state. Round-robin order, one core, no goroutines: the concurrency is
+// memory-level parallelism inside one simulated core, exactly as in the
+// paper.
+package rt
+
+import (
+	"fmt"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/pkt"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+// Source supplies packets to a worker. Next returns nil when the
+// workload is exhausted.
+type Source interface {
+	Next() *pkt.Packet
+}
+
+// Config tunes a worker.
+type Config struct {
+	// Tasks is max_interleaved: the number of NFTasks kept in flight.
+	Tasks int
+	// Batch is the rx burst size (packets fetched per receive call).
+	Batch int
+	// Prefetch enables the prefetching step of Algorithm 1; disabling
+	// it leaves pure round-robin interleaving (an ablation knob).
+	Prefetch bool
+	// ResidentCheck lets the scheduler skip the prefetch pass when the
+	// P-state verification finds the spans already in L1.
+	ResidentCheck bool
+	// RxCost is the per-packet receive cost in instructions (driver
+	// burst amortized), charged once per packet at batch receive.
+	RxCost uint64
+	// RingSlots is the number of rx buffer slots (wraps like a NIC
+	// descriptor ring).
+	RingSlots int
+	// SlotBytes is the buffer slot size.
+	SlotBytes uint64
+}
+
+// DefaultConfig returns the worker tuning used throughout the
+// evaluation: 16 interleaved NFTasks (the paper's optimum), 32-packet
+// bursts, prefetching on.
+func DefaultConfig() Config {
+	return Config{
+		Tasks:         16,
+		Batch:         32,
+		Prefetch:      true,
+		ResidentCheck: true,
+		RxCost:        30,
+		RingSlots:     512,
+		SlotBytes:     2048,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Tasks <= 0 {
+		return fmt.Errorf("rt: Tasks must be positive, got %d", c.Tasks)
+	}
+	if c.Batch <= 0 {
+		return fmt.Errorf("rt: Batch must be positive, got %d", c.Batch)
+	}
+	if c.RingSlots <= 0 || c.SlotBytes == 0 {
+		return fmt.Errorf("rt: ring geometry must be positive")
+	}
+	return nil
+}
+
+// Result summarizes one worker run over its measurement window.
+type Result struct {
+	// Packets is the number of streams run to completion.
+	Packets uint64
+	// Bits is the total wire bits processed, for Gbps computation.
+	Bits float64
+	// Cycles is the simulated cycle span of the window.
+	Cycles uint64
+	// FreqHz echoes the core clock for throughput conversion.
+	FreqHz float64
+	// Counters is the PMU delta over the window.
+	Counters sim.Counters
+	// AccessCycles is the cycles spent charging declared state accesses.
+	AccessCycles uint64
+}
+
+// Gbps returns the simulated throughput in gigabits per second.
+func (r Result) Gbps() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.Cycles) / r.FreqHz
+	return r.Bits / seconds / 1e9
+}
+
+// Mpps returns the simulated throughput in million packets per second.
+func (r Result) Mpps() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.Cycles) / r.FreqHz
+	return float64(r.Packets) / seconds / 1e6
+}
+
+// CyclesPerPacket returns the mean per-packet cost.
+func (r Result) CyclesPerPacket() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Packets)
+}
+
+// MissesPerPacket returns (L1, L2, LLC) misses per packet, the paper's
+// micro-architecture metrics.
+func (r Result) MissesPerPacket() (l1, l2, llc float64) {
+	if r.Packets == 0 {
+		return 0, 0, 0
+	}
+	n := float64(r.Packets)
+	return float64(r.Counters.L1Misses) / n, float64(r.Counters.L2Misses) / n,
+		float64(r.Counters.LLCMisses) / n
+}
+
+// Worker executes a Program on one simulated core.
+type Worker struct {
+	core  *sim.Core
+	prog  *model.Program
+	cfg   Config
+	ring  *pkt.Ring
+	tasks []*model.Exec
+	seq   uint64
+}
+
+// NewWorker builds a worker for prog on core, reserving the NFTask
+// scratch regions and the rx ring from as.
+func NewWorker(core *sim.Core, as *mem.AddressSpace, prog *model.Program, cfg Config) (*Worker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ringBase := as.Reserve(uint64(cfg.RingSlots)*cfg.SlotBytes, sim.LineBytes)
+	ring, err := pkt.NewRing(ringBase, cfg.SlotBytes, cfg.RingSlots)
+	if err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	w := &Worker{
+		core:  core,
+		prog:  prog,
+		cfg:   cfg,
+		ring:  ring,
+		tasks: make([]*model.Exec, cfg.Tasks),
+	}
+	tempSize := uint64(prog.TempLines()) * sim.LineBytes
+	for i := range w.tasks {
+		w.tasks[i] = &model.Exec{
+			Core:     core,
+			TempAddr: as.Reserve(tempSize, sim.LineBytes),
+			Done:     true, // idle until a packet is loaded
+		}
+	}
+	return w, nil
+}
+
+// Core returns the worker's simulated core.
+func (w *Worker) Core() *sim.Core { return w.core }
+
+// receive pulls up to Batch packets from src, assigning ring slots and
+// modelling the DDIO fill of their header lines.
+func (w *Worker) receive(src Source, limit uint64) []*pkt.Packet {
+	n := w.cfg.Batch
+	if limit > 0 && uint64(n) > limit {
+		n = int(limit)
+	}
+	batch := make([]*pkt.Packet, 0, n)
+	for len(batch) < n {
+		p := src.Next()
+		if p == nil {
+			break
+		}
+		p.Addr = w.ring.Slot(w.seq)
+		w.seq++
+		hdr := uint64(len(p.Data))
+		if hdr > 128 {
+			hdr = 128
+		}
+		w.core.DMAFill(p.Addr, hdr)
+		w.core.Compute(w.cfg.RxCost)
+		batch = append(batch, p)
+	}
+	return batch
+}
+
+// Run processes up to maxPackets packets from src (0 means until the
+// source is exhausted) under Algorithm 1 and returns the windowed
+// result. Counters are measured as a delta, so Run can be called again
+// on a warm worker for steady-state measurements.
+func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
+	startCtr := w.core.Counters()
+	startCycles := w.core.Now()
+
+	var done uint64
+	var bits float64
+	var accessCycles uint64
+	remaining := maxPackets
+
+	for {
+		batch := w.receive(src, remaining)
+		if len(batch) == 0 {
+			break
+		}
+		if remaining > 0 {
+			remaining -= uint64(len(batch))
+		}
+
+		// Initialize NFTasks with the batch head.
+		next := 0
+		active := 0
+		for _, t := range w.tasks {
+			if next >= len(batch) {
+				break
+			}
+			t.ResetStream(batch[next], w.prog.Start(), w.seq)
+			next++
+			active++
+		}
+
+		// Interleave until the whole batch is processed.
+		n := 0
+		for active > 0 {
+			t := w.tasks[n]
+			n = (n + 1) % len(w.tasks)
+			if t.Done {
+				continue
+			}
+			if w.cfg.Prefetch && !t.Prefetched {
+				if w.cfg.ResidentCheck && w.prog.ResidentCurrent(t) {
+					t.Prefetched = true
+				} else {
+					w.prog.PrefetchCurrent(t)
+					w.core.TaskSwitch()
+					continue
+				}
+			}
+			if err := w.prog.Step(t); err != nil {
+				return Result{}, fmt.Errorf("rt: step: %w", err)
+			}
+			if t.Done {
+				done++
+				bits += t.Pkt.Bits()
+				accessCycles += t.AccessCycles
+				t.AccessCycles = 0
+				if next < len(batch) {
+					t.ResetStream(batch[next], w.prog.Start(), w.seq)
+					next++
+				} else {
+					active--
+				}
+			}
+			if len(w.tasks) > 1 || w.cfg.Prefetch {
+				w.core.TaskSwitch()
+			}
+		}
+		if maxPackets > 0 && remaining == 0 {
+			break
+		}
+	}
+
+	return Result{
+		Packets:      done,
+		Bits:         bits,
+		Cycles:       w.core.Now() - startCycles,
+		FreqHz:       w.core.Config().FreqHz,
+		Counters:     w.core.Counters().Sub(startCtr),
+		AccessCycles: accessCycles,
+	}, nil
+}

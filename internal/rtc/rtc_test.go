@@ -1,0 +1,103 @@
+package rtc_test
+
+import (
+	"testing"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/nf/nat"
+	"github.com/gunfu-nfv/gunfu/internal/rtc"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/traffic"
+)
+
+func buildNAT(t testing.TB, flows int) (*model.Program, *traffic.FlowGen) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	n, err := nat.New(as, nat.Config{MaxFlows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := traffic.NewFlowGen(traffic.FlowGenConfig{Flows: flows, PacketBytes: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < flows; i++ {
+		if err := n.AddFlow(g.FlowTuple(i), int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := n.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, g
+}
+
+func TestValidation(t *testing.T) {
+	prog, _ := buildNAT(t, 16)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []rtc.Config{
+		{Batch: 0, RingSlots: 16, SlotBytes: 2048},
+		{Batch: 32, RingSlots: 0, SlotBytes: 2048},
+		{Batch: 32, RingSlots: 16, SlotBytes: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := rtc.NewWorker(core, mem.NewAddressSpace(), prog, cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestRunBounded(t *testing.T) {
+	prog, g := buildNAT(t, 64)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := rtc.NewWorker(core, mem.NewAddressSpace(), prog, rtc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(g, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 777 {
+		t.Fatalf("Packets = %d, want 777", res.Packets)
+	}
+	if res.Counters.TaskSwitches != 0 {
+		t.Fatalf("RTC performed %d task switches", res.Counters.TaskSwitches)
+	}
+	if res.Counters.PrefetchIssued != 0 {
+		t.Fatalf("RTC issued %d prefetches", res.Counters.PrefetchIssued)
+	}
+	if res.AccessCycles == 0 {
+		t.Fatal("AccessCycles not accumulated")
+	}
+}
+
+func TestRunExhausted(t *testing.T) {
+	prog, g := buildNAT(t, 64)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := rtc.NewWorker(core, mem.NewAddressSpace(), prog, rtc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(traffic.NewLimited(g, 50), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 50 {
+		t.Fatalf("Packets = %d, want 50", res.Packets)
+	}
+	if w.Core() != core {
+		t.Fatal("Core accessor broken")
+	}
+}

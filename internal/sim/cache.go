@@ -1,0 +1,94 @@
+package sim
+
+// cache is one set-associative level with LRU replacement. Tags carry a
+// readyAt timestamp so asynchronously prefetched lines can be installed
+// immediately (creating realistic occupancy pressure) while still stalling
+// accesses that arrive before the fill completes.
+type cache struct {
+	cfg     CacheConfig
+	sets    int
+	setMask uint64
+	// tags[set*ways+way] holds line|1 (bit 0 = valid); 0 means invalid.
+	tags []uint64
+	// stamp[set*ways+way] is the last-use clock for LRU.
+	stamp []uint64
+	// readyAt[set*ways+way] is the cycle at which the line's fill
+	// completes; accesses earlier than this stall for the remainder.
+	readyAt []uint64
+	// prefetched[set*ways+way] marks lines installed by a prefetch that
+	// have not yet served a demand access, for PMU efficacy accounting.
+	prefetched []bool
+}
+
+func newCache(cfg CacheConfig) *cache {
+	sets := cfg.Sets()
+	n := sets * cfg.Ways
+	return &cache{
+		cfg:        cfg,
+		sets:       sets,
+		setMask:    uint64(sets - 1),
+		tags:       make([]uint64, n),
+		stamp:      make([]uint64, n),
+		readyAt:    make([]uint64, n),
+		prefetched: make([]bool, n),
+	}
+}
+
+// lookup returns the slot index of line in its set, or -1.
+func (c *cache) lookup(line uint64) int {
+	set := int(line & c.setMask)
+	base := set * c.cfg.Ways
+	want := line<<1 | 1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == want {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// touch records a use of slot at the given clock for LRU ordering.
+func (c *cache) touch(slot int, now uint64) {
+	c.stamp[slot] = now
+}
+
+// install places line into its set, evicting the LRU way if needed, and
+// returns the slot. readyAt is the cycle the fill completes (== now for
+// demand fills, later for prefetch fills).
+func (c *cache) install(line, now, readyAt uint64) int {
+	set := int(line & c.setMask)
+	base := set * c.cfg.Ways
+	victim := base
+	oldest := c.stamp[base]
+	for w := 0; w < c.cfg.Ways; w++ {
+		slot := base + w
+		if c.tags[slot] == 0 {
+			victim = slot
+			break
+		}
+		if c.stamp[slot] < oldest {
+			oldest = c.stamp[slot]
+			victim = slot
+		}
+	}
+	c.tags[victim] = line<<1 | 1
+	c.stamp[victim] = now
+	c.readyAt[victim] = readyAt
+	c.prefetched[victim] = false
+	return victim
+}
+
+// invalidateAll clears every line; used by Core.Reset.
+func (c *cache) invalidateAll() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+		c.readyAt[i] = 0
+		c.prefetched[i] = false
+	}
+}
+
+// resident reports whether line is present (regardless of fill state).
+func (c *cache) resident(line uint64) bool {
+	return c.lookup(line) >= 0
+}

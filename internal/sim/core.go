@@ -1,0 +1,279 @@
+package sim
+
+import "fmt"
+
+// Core is one simulated CPU core: a cycle clock, a private three-level
+// cache hierarchy, a bounded asynchronous prefetcher, and a PMU.
+//
+// A Core is not safe for concurrent use; the runtime gives each worker
+// its own Core, matching the paper's share-nothing per-core design.
+type Core struct {
+	cfg Config
+
+	clock uint64
+	l1    *cache
+	l2    *cache
+	llc   *cache
+	ctr   Counters
+
+	// outstanding holds readyAt cycles of in-flight prefetch fills; its
+	// live entries (readyAt > clock) occupy MSHRs.
+	outstanding []uint64
+}
+
+// NewCore builds a core from cfg, validating it first.
+func NewCore(cfg Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid config: %w", err)
+	}
+	return &Core{
+		cfg:         cfg,
+		l1:          newCache(cfg.L1),
+		l2:          newCache(cfg.L2),
+		llc:         newCache(cfg.LLC),
+		outstanding: make([]uint64, 0, cfg.MSHRs),
+	}, nil
+}
+
+// Config returns the configuration the core was built with.
+func (c *Core) Config() Config { return c.cfg }
+
+// Now returns the current cycle count.
+func (c *Core) Now() uint64 { return c.clock }
+
+// Seconds converts the elapsed cycle count to simulated wall-clock time.
+func (c *Core) Seconds() float64 { return float64(c.clock) / c.cfg.FreqHz }
+
+// Counters returns a snapshot of the PMU block (Cycles kept in sync with
+// the clock).
+func (c *Core) Counters() Counters {
+	ctr := c.ctr
+	ctr.Cycles = c.clock
+	return ctr
+}
+
+// Reset clears the clock, counters, caches and prefetch state, so one
+// core can run back-to-back experiments from a cold start.
+func (c *Core) Reset() {
+	c.clock = 0
+	c.ctr = Counters{}
+	c.l1.invalidateAll()
+	c.l2.invalidateAll()
+	c.llc.invalidateAll()
+	c.outstanding = c.outstanding[:0]
+}
+
+// Compute charges insts simulated instructions of pure computation.
+func (c *Core) Compute(insts uint64) {
+	if insts == 0 {
+		return
+	}
+	c.ctr.Instructions += insts
+	c.clock += (insts + c.cfg.IssueWidth - 1) / c.cfg.IssueWidth
+}
+
+// Stall advances the clock by cycles without retiring instructions; used
+// for fixed overheads such as packet I/O batching costs.
+func (c *Core) Stall(cycles uint64) {
+	c.clock += cycles
+	c.ctr.StallCycles += cycles
+}
+
+// TaskSwitch charges the scheduler's NFTask switch cost.
+func (c *Core) TaskSwitch() {
+	c.ctr.TaskSwitches++
+	c.clock += c.cfg.SwitchCost
+	c.ctr.Instructions += c.cfg.SwitchCost * c.cfg.IssueWidth / 2
+}
+
+// Read charges a demand read of size bytes at addr.
+func (c *Core) Read(addr, size uint64) {
+	c.burst(addr, size, false)
+}
+
+// Write charges a demand write of size bytes at addr. Writes allocate,
+// so they follow the same path as reads.
+func (c *Core) Write(addr, size uint64) {
+	c.burst(addr, size, true)
+}
+
+// burst touches every line in [addr, addr+size) as one demand burst:
+// the first missing line pays full latency, subsequent missing lines in
+// the same burst pay BurstGap (overlapped fills).
+func (c *Core) burst(addr, size uint64, write bool) {
+	if size == 0 {
+		return
+	}
+	first := addr >> lineShift
+	last := (addr + size - 1) >> lineShift
+	missed := false
+	for line := first; line <= last; line++ {
+		if write {
+			c.ctr.Writes++
+		} else {
+			c.ctr.Reads++
+		}
+		c.ctr.Instructions++
+		if c.access(line, missed) {
+			missed = true
+		}
+	}
+}
+
+// access charges one demand line access. overlapped marks that an earlier
+// line in the same burst already paid a full miss. It reports whether
+// this access missed L1 entirely (i.e. was not an L1 or in-flight hit).
+func (c *Core) access(line uint64, overlapped bool) bool {
+	if slot := c.l1.lookup(line); slot >= 0 {
+		c.demandHitL1(slot)
+		return false
+	}
+	c.ctr.L1Misses++
+	var lat uint64
+	if slot := c.l2.lookup(line); slot >= 0 {
+		c.ctr.L2Hits++
+		lat = c.waitReady(c.l2, slot, c.cfg.L2.HitLatency)
+		c.l2.touch(slot, c.clock)
+	} else {
+		c.ctr.L2Misses++
+		if slot := c.llc.lookup(line); slot >= 0 {
+			c.ctr.LLCHits++
+			lat = c.waitReady(c.llc, slot, c.cfg.LLC.HitLatency)
+			c.llc.touch(slot, c.clock)
+		} else {
+			c.ctr.LLCMisses++
+			lat = c.cfg.DRAMLatency
+			c.llc.install(line, c.clock, c.clock)
+		}
+		c.l2.install(line, c.clock, c.clock)
+	}
+	if overlapped && lat > c.cfg.BurstGap {
+		lat = c.cfg.BurstGap
+	}
+	c.clock += lat
+	c.ctr.StallCycles += lat
+	c.l1.install(line, c.clock, c.clock)
+	return true
+}
+
+// demandHitL1 charges an L1 hit, accounting for in-flight prefetch fills.
+func (c *Core) demandHitL1(slot int) {
+	c.ctr.L1Hits++
+	lat := c.cfg.L1.HitLatency
+	if ready := c.l1.readyAt[slot]; ready > c.clock {
+		stall := ready - c.clock
+		c.clock += stall
+		c.ctr.StallCycles += stall
+		c.ctr.PrefetchLate++
+		c.l1.prefetched[slot] = false
+	} else if c.l1.prefetched[slot] {
+		c.ctr.PrefetchUseful++
+		c.l1.prefetched[slot] = false
+	}
+	c.clock += lat
+	c.l1.touch(slot, c.clock)
+}
+
+// waitReady stalls until an outer-level slot's fill completes, then
+// charges that level's hit latency; returns the total charged cycles
+// minus the stall (stall is applied immediately).
+func (c *Core) waitReady(lvl *cache, slot int, hitLat uint64) uint64 {
+	if ready := lvl.readyAt[slot]; ready > c.clock {
+		stall := ready - c.clock
+		c.clock += stall
+		c.ctr.StallCycles += stall
+		c.ctr.PrefetchLate++
+	}
+	return hitLat
+}
+
+// Prefetch issues non-blocking fills for every line of [addr, addr+size).
+// Lines already in L1 are counted redundant; fills beyond the free MSHRs
+// are dropped. Each accepted or redundant line charges the issue cost.
+func (c *Core) Prefetch(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := addr >> lineShift
+	last := (addr + size - 1) >> lineShift
+	for line := first; line <= last; line++ {
+		c.prefetchLine(line)
+	}
+}
+
+func (c *Core) prefetchLine(line uint64) {
+	c.clock += c.cfg.PrefetchIssueCost
+	c.ctr.Instructions++
+	if c.l1.resident(line) {
+		c.ctr.PrefetchRedundant++
+		return
+	}
+	if c.activeMSHRs() >= c.cfg.MSHRs {
+		c.ctr.PrefetchDropped++
+		return
+	}
+	// Fill latency depends on where the line currently lives.
+	var fill uint64
+	switch {
+	case c.l2.resident(line):
+		fill = c.cfg.L2.HitLatency
+	case c.llc.resident(line):
+		fill = c.cfg.LLC.HitLatency
+	default:
+		fill = c.cfg.DRAMLatency
+		c.llc.install(line, c.clock, c.clock+fill)
+		c.l2.install(line, c.clock, c.clock+fill)
+	}
+	ready := c.clock + fill
+	slot := c.l1.install(line, c.clock, ready)
+	c.l1.prefetched[slot] = true
+	c.outstanding = append(c.outstanding, ready)
+	c.ctr.PrefetchIssued++
+}
+
+// activeMSHRs compacts the outstanding list and returns the number of
+// fills still in flight at the current clock.
+func (c *Core) activeMSHRs() int {
+	live := c.outstanding[:0]
+	for _, ready := range c.outstanding {
+		if ready > c.clock {
+			live = append(live, ready)
+		}
+	}
+	c.outstanding = live
+	return len(live)
+}
+
+// DMAFill installs the lines of [addr, addr+size) into the LLC without
+// charging core cycles, modelling DDIO: the NIC DMA-writes received
+// packet buffers into the last-level cache, so the core's first header
+// access costs an LLC hit rather than a DRAM round trip.
+func (c *Core) DMAFill(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := addr >> lineShift
+	last := (addr + size - 1) >> lineShift
+	for line := first; line <= last; line++ {
+		if !c.llc.resident(line) {
+			c.llc.install(line, c.clock, c.clock)
+		}
+	}
+}
+
+// ResidentL1 reports whether every line of [addr, addr+size) is present
+// in L1 (in-flight fills count as present). The scheduler uses this to
+// maintain the NFTask P-state.
+func (c *Core) ResidentL1(addr, size uint64) bool {
+	if size == 0 {
+		return true
+	}
+	first := addr >> lineShift
+	last := (addr + size - 1) >> lineShift
+	for line := first; line <= last; line++ {
+		if !c.l1.resident(line) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.AddRow("alpha", F(1.5, 2))
+	tb.AddRow("beta") // short row pads
+	tb.AddRow("gamma", "3", "extra-dropped")
+
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "T\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("rule = %q", lines[2])
+	}
+}
+
+func TestCellAccess(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1.25", "x")
+	if tb.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	v, err := tb.CellFloat(0, 0)
+	if err != nil || v != 1.25 {
+		t.Fatalf("CellFloat = %v, %v", v, err)
+	}
+	if _, err := tb.CellFloat(0, 1); err == nil {
+		t.Fatal("non-numeric cell parsed")
+	}
+	if _, err := tb.Cell(5, 0); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, err := tb.Cell(0, 5); err == nil {
+		t.Fatal("out-of-range col accepted")
+	}
+	idx, err := tb.ColumnIndex("b")
+	if err != nil || idx != 1 {
+		t.Fatalf("ColumnIndex = %d, %v", idx, err)
+	}
+	if _, err := tb.ColumnIndex("zzz"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal("F")
+	}
+	if I(42) != "42" {
+		t.Fatal("I")
+	}
+	if U(7) != "7" {
+		t.Fatal("U")
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Fatalf("Pct = %q", Pct(0.5))
+	}
+}

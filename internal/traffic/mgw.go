@@ -1,0 +1,101 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gunfu-nfv/gunfu/internal/pkt"
+)
+
+// MGWConfig parametrizes the Telco-benchmark Mobile GateWay use case
+// the paper drives its UPF experiments with: N PFCP sessions, each with
+// M packet detection rules, receiving downlink traffic.
+type MGWConfig struct {
+	// Sessions is the PFCP session count (one UE each).
+	Sessions int
+	// PDRs is the number of packet detection rules per session; the
+	// generator spreads each session's traffic across all of them by
+	// cycling source ports through the PDR port ranges.
+	PDRs int
+	// PacketBytes is the downlink packet wire size.
+	PacketBytes int
+	// Order selects the session popularity distribution.
+	Order FlowOrder
+	// Seed makes the workload deterministic.
+	Seed int64
+	// ShardBase/ShardCount restrict emission to a session index range
+	// (RSS steering); ShardCount = 0 means all sessions.
+	ShardBase, ShardCount int
+}
+
+// UEIP returns the UE address of session i (level-1 match key).
+func (c MGWConfig) UEIP(i int) uint32 { return 0x0a000000 + uint32(i) }
+
+// PDRRangeSpan returns the source-port span of one PDR's SDF filter
+// when the port space is partitioned evenly across the session's PDRs.
+func (c MGWConfig) PDRRangeSpan() int { return 65536 / c.PDRs }
+
+// MGWGen emits downlink packets toward the UE population.
+type MGWGen struct {
+	cfg  MGWConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	pool *pool
+	rr   int
+}
+
+// NewMGWGen validates cfg and builds the generator.
+func NewMGWGen(cfg MGWConfig) (*MGWGen, error) {
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("traffic: mgw: Sessions must be positive, got %d", cfg.Sessions)
+	}
+	if cfg.PDRs <= 0 || cfg.PDRs > 65536 {
+		return nil, fmt.Errorf("traffic: mgw: PDRs must be in [1,65536], got %d", cfg.PDRs)
+	}
+	if cfg.PacketBytes < 64 {
+		return nil, fmt.Errorf("traffic: mgw: PacketBytes must be >= 64, got %d", cfg.PacketBytes)
+	}
+	if cfg.Order == 0 {
+		cfg.Order = OrderUniform
+	}
+	if cfg.ShardCount == 0 {
+		cfg.ShardBase, cfg.ShardCount = 0, cfg.Sessions
+	}
+	if cfg.ShardBase < 0 || cfg.ShardBase+cfg.ShardCount > cfg.Sessions {
+		return nil, fmt.Errorf("traffic: mgw: shard [%d,%d) outside %d sessions",
+			cfg.ShardBase, cfg.ShardBase+cfg.ShardCount, cfg.Sessions)
+	}
+	g := &MGWGen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), pool: newPool()}
+	if cfg.Order == OrderZipf && cfg.ShardCount > 1 {
+		g.zipf = rand.NewZipf(g.rng, 1.1, 1, uint64(cfg.ShardCount-1))
+	}
+	return g, nil
+}
+
+// Config returns the generator's parameters.
+func (g *MGWGen) Config() MGWConfig { return g.cfg }
+
+// Next emits a downlink packet: server → UE IP, with a source port
+// drawn uniformly so it lands in a uniformly random PDR's range.
+func (g *MGWGen) Next() *pkt.Packet {
+	var sess int
+	switch {
+	case g.zipf != nil:
+		sess = g.cfg.ShardBase + int(g.zipf.Uint64())
+	case g.cfg.Order == OrderRoundRobin:
+		sess = g.cfg.ShardBase + g.rr
+		g.rr = (g.rr + 1) % g.cfg.ShardCount
+	default:
+		sess = g.cfg.ShardBase + g.rng.Intn(g.cfg.ShardCount)
+	}
+	tuple := pkt.FiveTuple{
+		SrcIP:   0x08080800 + uint32(g.rng.Intn(256)), // internet servers
+		DstIP:   g.cfg.UEIP(sess),
+		SrcPort: uint16(g.rng.Intn(65536)),
+		DstPort: uint16(10000 + g.rng.Intn(1000)),
+		Proto:   pkt.ProtoUDP,
+	}
+	p := g.pool.take()
+	buildUDPish(p, tuple, g.cfg.PacketBytes)
+	return p
+}

@@ -1,0 +1,284 @@
+package traffic
+
+import (
+	"testing"
+
+	"github.com/gunfu-nfv/gunfu/internal/pkt"
+)
+
+func TestFlowGenValidation(t *testing.T) {
+	if _, err := NewFlowGen(FlowGenConfig{Flows: 0, PacketBytes: 64}); err == nil {
+		t.Fatal("zero flows accepted")
+	}
+	if _, err := NewFlowGen(FlowGenConfig{Flows: 10, PacketBytes: 32}); err == nil {
+		t.Fatal("tiny packets accepted")
+	}
+}
+
+func TestFlowGenDistinctTuples(t *testing.T) {
+	g, err := NewFlowGen(FlowGenConfig{Flows: 5000, PacketBytes: 64, Order: OrderUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[pkt.FiveTuple]int, 5000)
+	for i := 0; i < g.Flows(); i++ {
+		tu := g.FlowTuple(i)
+		if prev, dup := seen[tu]; dup {
+			t.Fatalf("flows %d and %d share tuple %v", prev, i, tu)
+		}
+		seen[tu] = i
+	}
+}
+
+func TestFlowGenPacketsParse(t *testing.T) {
+	g, err := NewFlowGen(FlowGenConfig{Flows: 100, PacketBytes: 512, Order: OrderUniform, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p := g.Next()
+		if p.WireLen != 512 {
+			t.Fatalf("WireLen = %d", p.WireLen)
+		}
+		want := p.Tuple
+		p.Tuple = pkt.FiveTuple{}
+		if err := p.Parse(); err != nil {
+			t.Fatalf("packet %d does not parse: %v", i, err)
+		}
+		if p.Tuple != want {
+			t.Fatalf("packet %d: parsed %v, generator said %v", i, p.Tuple, want)
+		}
+	}
+}
+
+func TestFlowGenDeterministic(t *testing.T) {
+	mk := func() []pkt.FiveTuple {
+		g, err := NewFlowGen(FlowGenConfig{Flows: 50, PacketBytes: 64, Order: OrderZipf, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]pkt.FiveTuple, 100)
+		for i := range out {
+			out[i] = g.Next().Tuple
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestFlowGenRoundRobin(t *testing.T) {
+	g, err := NewFlowGen(FlowGenConfig{Flows: 4, PacketBytes: 64, Order: OrderRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			if got := g.Next().Tuple; got != g.FlowTuple(i) {
+				t.Fatalf("round %d pos %d: got %v, want flow %d", round, i, got, i)
+			}
+		}
+	}
+}
+
+func TestFlowGenZipfSkewed(t *testing.T) {
+	g, err := NewFlowGen(FlowGenConfig{Flows: 1000, PacketBytes: 64, Order: OrderZipf, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[pkt.FiveTuple]int)
+	for i := 0; i < 10000; i++ {
+		counts[g.Next().Tuple]++
+	}
+	top := g.FlowTuple(0)
+	if counts[top] < 1000 {
+		t.Fatalf("zipf head flow got %d of 10000 packets; expected heavy skew", counts[top])
+	}
+}
+
+func TestLimited(t *testing.T) {
+	g, err := NewFlowGen(FlowGenConfig{Flows: 10, PacketBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLimited(g, 3)
+	for i := 0; i < 3; i++ {
+		if l.Next() == nil {
+			t.Fatalf("packet %d was nil", i)
+		}
+	}
+	if l.Next() != nil {
+		t.Fatal("budget exceeded")
+	}
+}
+
+func TestMGWGenValidation(t *testing.T) {
+	if _, err := NewMGWGen(MGWConfig{Sessions: 0, PDRs: 4, PacketBytes: 64}); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+	if _, err := NewMGWGen(MGWConfig{Sessions: 4, PDRs: 0, PacketBytes: 64}); err == nil {
+		t.Fatal("zero PDRs accepted")
+	}
+	if _, err := NewMGWGen(MGWConfig{Sessions: 4, PDRs: 4, PacketBytes: 10}); err == nil {
+		t.Fatal("tiny packets accepted")
+	}
+}
+
+func TestMGWGenTargetsSessions(t *testing.T) {
+	cfg := MGWConfig{Sessions: 64, PDRs: 4, PacketBytes: 128, Seed: 5}
+	g, err := NewMGWGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make(map[uint32]bool)
+	for i := 0; i < 2000; i++ {
+		p := g.Next()
+		ue := p.Tuple.DstIP
+		if ue < cfg.UEIP(0) || ue > cfg.UEIP(cfg.Sessions-1) {
+			t.Fatalf("packet %d targets non-UE address %#x", i, ue)
+		}
+		hit[ue] = true
+		want := p.Tuple
+		p.Tuple = pkt.FiveTuple{}
+		if err := p.Parse(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Tuple != want {
+			t.Fatalf("reparse mismatch: %v vs %v", p.Tuple, want)
+		}
+	}
+	if len(hit) < 50 {
+		t.Fatalf("only %d of 64 sessions hit in 2000 packets", len(hit))
+	}
+}
+
+func TestMGWGenOrders(t *testing.T) {
+	for _, order := range []FlowOrder{OrderUniform, OrderZipf, OrderRoundRobin} {
+		g, err := NewMGWGen(MGWConfig{Sessions: 16, PDRs: 2, PacketBytes: 64, Order: order, Seed: 1})
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		for i := 0; i < 50; i++ {
+			if g.Next() == nil {
+				t.Fatalf("order %d: nil packet", order)
+			}
+		}
+	}
+}
+
+func TestMGWPDRSpan(t *testing.T) {
+	cfg := MGWConfig{Sessions: 1, PDRs: 16, PacketBytes: 64}
+	if got := cfg.PDRRangeSpan(); got != 4096 {
+		t.Fatalf("PDRRangeSpan = %d, want 4096", got)
+	}
+}
+
+func TestAMFGenValidation(t *testing.T) {
+	if _, err := NewAMFGen(AMFConfig{UEs: 0}); err == nil {
+		t.Fatal("zero UEs accepted")
+	}
+	if _, err := NewAMFGen(AMFConfig{UEs: 10, MsgType: 99}); err == nil {
+		t.Fatal("unknown message type accepted")
+	}
+}
+
+func TestAMFGenSingleMessageMode(t *testing.T) {
+	g, err := NewAMFGen(AMFConfig{UEs: 100, MsgType: MsgAuthResponse, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p := g.Next()
+		if p.MsgType != MsgAuthResponse {
+			t.Fatalf("packet %d: msg %d", i, p.MsgType)
+		}
+		if p.UE >= 100 {
+			t.Fatalf("packet %d: UE %d out of range", i, p.UE)
+		}
+	}
+}
+
+func TestAMFGenCallFlowProgresses(t *testing.T) {
+	g, err := NewAMFGen(AMFConfig{UEs: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track each UE's message sequence; it must cycle 1..5 in order.
+	last := make(map[uint32]uint8)
+	for i := 0; i < 300; i++ {
+		p := g.Next()
+		if p.MsgType < 1 || int(p.MsgType) > NumAMFMessages {
+			t.Fatalf("bad message type %d", p.MsgType)
+		}
+		if prev, ok := last[p.UE]; ok {
+			want := prev%uint8(NumAMFMessages) + 1
+			if p.MsgType != want {
+				t.Fatalf("UE %d jumped from msg %d to %d", p.UE, prev, p.MsgType)
+			}
+		}
+		last[p.UE] = p.MsgType
+	}
+}
+
+func TestAMFMessageNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for m := uint8(1); int(m) <= NumAMFMessages; m++ {
+		name := AMFMessageName(m)
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate name %q for msg %d", name, m)
+		}
+		seen[name] = true
+	}
+	if AMFMessageName(200) == "" {
+		t.Fatal("unknown message must still name itself")
+	}
+}
+
+func TestCaidaGen(t *testing.T) {
+	if _, err := NewCaidaGen(CaidaConfig{Flows: 1}); err == nil {
+		t.Fatal("single flow accepted")
+	}
+	g, err := NewCaidaGen(CaidaConfig{Flows: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make(map[int]int)
+	for i := 0; i < 5000; i++ {
+		p := g.Next()
+		sizes[p.WireLen]++
+		want := p.Tuple
+		p.Tuple = pkt.FiveTuple{}
+		if err := p.Parse(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Tuple != want {
+			t.Fatal("reparse mismatch")
+		}
+	}
+	for _, s := range imixSizes {
+		if sizes[s] == 0 {
+			t.Fatalf("IMIX size %d never emitted; histogram %v", s, sizes)
+		}
+	}
+	if sizes[64] < sizes[1518] {
+		t.Fatalf("IMIX mix inverted: %v", sizes)
+	}
+	if got := AvgPacketBytes(); got < 300 || got > 400 {
+		t.Fatalf("AvgPacketBytes = %v, want ~353", got)
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	p := newPool()
+	first := p.take()
+	for i := 0; i < poolSize-1; i++ {
+		p.take()
+	}
+	if p.take() != first {
+		t.Fatal("pool did not wrap to the first packet")
+	}
+}
