@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test verify bench-smoke quick
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the full pre-merge gate: build, vet, and the test suite
+# under the race detector (which also exercises the parallel sweep
+# determinism test with real concurrency).
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench-smoke runs one short iteration of every hot-path benchmark —
+# enough to catch a benchmark that no longer compiles or allocates,
+# not enough to produce stable numbers (use bench for those).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 100x ./internal/sim/ ./internal/rt/
+
+# bench runs the hot-path benchmarks at measurement length; pipe two
+# runs through benchstat to compare (see EXPERIMENTS.md).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 10 ./internal/sim/ ./internal/rt/
+
+# quick regenerates every figure with reduced populations.
+quick:
+	$(GO) run ./cmd/gunfu-bench -exp all -quick -parallel 4

@@ -7,13 +7,23 @@
 //	gunfu-bench -exp all            # every figure, full populations
 //	gunfu-bench -exp fig11,fig13    # selected figures
 //	gunfu-bench -exp fig10 -quick   # reduced populations for a fast run
+//	gunfu-bench -exp all -parallel 8  # figures + sweep points on 8 workers
+//
+// Tables are byte-identical for any -parallel value: sweep points are
+// share-nothing simulations, rows are emitted in sweep order, and
+// concurrently-run figures render into buffers flushed in selection
+// order — parallelism only changes host wall-clock time. Progress and
+// timing lines go to stderr; stdout carries only the experiment
+// headers and tables.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	gunfu "github.com/gunfu-nfv/gunfu"
@@ -27,6 +37,7 @@ func run() int {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids, or \"all\"")
 	quick := flag.Bool("quick", false, "reduced populations and windows")
 	seed := flag.Int64("seed", 42, "workload seed")
+	parallel := flag.Int("parallel", 1, "concurrent sweep points per experiment (<=1 = sequential)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -52,15 +63,60 @@ func run() int {
 		return 2
 	}
 
-	opts := gunfu.ExpOptions{Quick: *quick, Seed: *seed, Out: os.Stdout}
-	for _, name := range names {
-		start := time.Now()
-		fmt.Printf("== %s ==\n", name)
-		if _, err := gunfu.RunExperiment(name, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "gunfu-bench: %v\n", err)
+	if *parallel <= 1 {
+		opts := gunfu.ExpOptions{Quick: *quick, Seed: *seed, Out: os.Stdout}
+		for _, name := range names {
+			start := time.Now()
+			fmt.Printf("== %s ==\n", name)
+			if _, err := gunfu.RunExperiment(name, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "gunfu-bench: %v\n", err)
+				return 1
+			}
+			fmt.Println()
+			fmt.Fprintf(os.Stderr, "gunfu-bench: %s completed in %.1fs\n", name, time.Since(start).Seconds())
+		}
+		return 0
+	}
+
+	// Parallel mode: figures run concurrently (each additionally fanning
+	// its sweep points out over up to -parallel workers), rendering into
+	// per-figure buffers that are flushed to stdout in selection order —
+	// so stdout is byte-identical to the sequential run.
+	bufs := make([]bytes.Buffer, len(names))
+	errs := make([]error, len(names))
+	done := make([]chan struct{}, len(names))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			fmt.Fprintf(&bufs[i], "== %s ==\n", name)
+			opts := gunfu.ExpOptions{Quick: *quick, Seed: *seed, Out: &bufs[i], Parallel: *parallel}
+			if _, err := gunfu.RunExperiment(name, opts); err != nil {
+				errs[i] = err
+				return
+			}
+			fmt.Fprintln(&bufs[i])
+			fmt.Fprintf(os.Stderr, "gunfu-bench: %s completed in %.1fs\n", name, time.Since(start).Seconds())
+		}(i, name)
+	}
+	for i := range names {
+		<-done[i]
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-bench: %v\n", errs[i])
+			wg.Wait()
 			return 1
 		}
-		fmt.Printf("(%s completed in %.1fs)\n\n", name, time.Since(start).Seconds())
+		os.Stdout.Write(bufs[i].Bytes())
 	}
+	wg.Wait()
 	return 0
 }

@@ -51,14 +51,22 @@ func Ablations(o Options) ([]*stats.Table, error) {
 		{"prefetch, no resident check", func(c *rt.Config) { c.ResidentCheck = false }},
 		{"full (prefetch + P-state check)", nil},
 	}
-	for _, f := range features {
+	rows1 := make([][]string, len(features))
+	if err := o.forEach(len(features), func(i int) error {
+		f := features[i]
 		res, err := run(o.simCfg(), f.mutate)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t1.AddRow(f.name, stats.F(res.Gbps(), 2), stats.F(res.CyclesPerPacket(), 1),
+		rows1[i] = []string{f.name, stats.F(res.Gbps(), 2), stats.F(res.CyclesPerPacket(), 1),
 			stats.Pct(res.Counters.L1HitRate()),
-			stats.F(float64(res.Counters.PrefetchUseful)/float64(res.Packets), 2))
+			stats.F(float64(res.Counters.PrefetchUseful)/float64(res.Packets), 2)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows1 {
+		t1.AddRow(row...)
 	}
 
 	// (b) MSHR budget: memory-level parallelism available to the
@@ -66,15 +74,23 @@ func Ablations(o Options) ([]*stats.Table, error) {
 	t2 := stats.NewTable(
 		"Ablation B — MSHR budget (NAT, 130K flows, 16 NFTasks)",
 		"mshrs", "gbps", "pf-dropped/pkt")
-	for _, mshrs := range []int{2, 4, 8, 12, 16, 32} {
+	mshrSweep := []int{2, 4, 8, 12, 16, 32}
+	rows2 := make([][]string, len(mshrSweep))
+	if err := o.forEach(len(mshrSweep), func(i int) error {
 		simCfg := o.simCfg()
-		simCfg.MSHRs = mshrs
+		simCfg.MSHRs = mshrSweep[i]
 		res, err := run(simCfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t2.AddRow(stats.I(mshrs), stats.F(res.Gbps(), 2),
-			stats.F(float64(res.Counters.PrefetchDropped)/float64(res.Packets), 2))
+		rows2[i] = []string{stats.I(mshrSweep[i]), stats.F(res.Gbps(), 2),
+			stats.F(float64(res.Counters.PrefetchDropped)/float64(res.Packets), 2)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows2 {
+		t2.AddRow(row...)
 	}
 
 	// (b2) Redundant prefetch removal on the length-4 SFC: PRR saves
@@ -84,22 +100,31 @@ func Ablations(o Options) ([]*stats.Table, error) {
 	t2b := stats.NewTable(
 		"Ablation B2 — redundant prefetch removal (SFC-4, 16 NFTasks)",
 		"config", "gbps", "pf-issued/pkt")
-	for _, prr := range []bool{false, true} {
+	prrSweep := []bool{false, true}
+	rows2b := make([][]string, len(prrSweep))
+	if err := o.forEach(len(prrSweep), func(i int) error {
+		prr := prrSweep[i]
 		sfcFlows := o.pick(1<<15, 1<<12)
 		as, prog, src, err := sfcSetup(4, sfcFlows, false, prrOptions(prr), o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runIL(o, as, prog, src, 16, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		name := "PRR off"
 		if prr {
 			name = "PRR on"
 		}
-		t2b.AddRow(name, stats.F(res.Gbps(), 2),
-			stats.F(float64(res.Counters.PrefetchIssued)/float64(res.Packets), 2))
+		rows2b[i] = []string{name, stats.F(res.Gbps(), 2),
+			stats.F(float64(res.Counters.PrefetchIssued)/float64(res.Packets), 2)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows2b {
+		t2b.AddRow(row...)
 	}
 
 	// (c) NFTask switch cost: how light the runtime must be for
@@ -107,14 +132,22 @@ func Ablations(o Options) ([]*stats.Table, error) {
 	t3 := stats.NewTable(
 		"Ablation C — NFTask switch cost (NAT, 130K flows, 16 NFTasks)",
 		"switch-cycles", "gbps", "cyc/pkt")
-	for _, cost := range []uint64{4, 12, 24, 48, 96} {
+	costSweep := []uint64{4, 12, 24, 48, 96}
+	rows3 := make([][]string, len(costSweep))
+	if err := o.forEach(len(costSweep), func(i int) error {
 		simCfg := o.simCfg()
-		simCfg.SwitchCost = cost
+		simCfg.SwitchCost = costSweep[i]
 		res, err := run(simCfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t3.AddRow(stats.U(cost), stats.F(res.Gbps(), 2), stats.F(res.CyclesPerPacket(), 1))
+		rows3[i] = []string{stats.U(costSweep[i]), stats.F(res.Gbps(), 2), stats.F(res.CyclesPerPacket(), 1)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows3 {
+		t3.AddRow(row...)
 	}
 
 	return []*stats.Table{t1, t2, t2b, t3}, nil

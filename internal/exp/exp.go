@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/gunfu-nfv/gunfu/internal/mem"
 	"github.com/gunfu-nfv/gunfu/internal/model"
@@ -32,6 +34,13 @@ type Options struct {
 	Out io.Writer
 	// Sim overrides the simulated core configuration.
 	Sim *sim.Config
+	// Parallel is the number of sweep points a runner may execute
+	// concurrently (host goroutines). Sweep points are share-nothing —
+	// each builds its own core, address space and seeded generators —
+	// so any Parallel value produces byte-identical tables; <=1 means
+	// sequential. Fig9 measures host wall-clock and always runs
+	// sequentially regardless.
+	Parallel int
 }
 
 func (o Options) simCfg() sim.Config {
@@ -61,6 +70,50 @@ func (o Options) pickU(full, quick uint64) uint64 {
 		return quick
 	}
 	return full
+}
+
+// forEach runs fn(i) for every i in [0, n): sequentially when
+// o.Parallel <= 1, otherwise on min(Parallel, n) workers pulling
+// indexes from a shared counter. fn must write its output into an
+// index-addressed slot so callers can emit rows in sweep order; the
+// lowest-index error (if any) is returned either way, keeping error
+// selection independent of goroutine timing.
+func (o Options) forEach(n int, fn func(i int) error) error {
+	workers := o.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Runner regenerates one figure.

@@ -20,29 +20,31 @@ func Fig10(o Options) ([]*stats.Table, error) {
 	warm := o.pickU(20000, 2000)
 	window := o.pickU(120000, 8000)
 
-	// (a) Throughput vs interleaved NFTasks, PDRs fixed at 16.
+	// (a) Throughput vs interleaved NFTasks, PDRs fixed at 16. Point 0
+	// is the RTC baseline; speedups are computed once all points are in.
 	t1 := stats.NewTable(
 		"Figure 10(a) — UPF downlink throughput vs interleaved NFTasks (PDRs=16, 64B, 1 core)",
 		"config", "gbps", "mpps", "cyc/pkt", "speedup-vs-rtc")
-	as, prog, src, err := buildUPF(sessions, 16, 64, o.Seed)
-	if err != nil {
-		return nil, err
-	}
-	base, err := runRTC(o, as, prog, src, warm, window)
-	if err != nil {
-		return nil, err
-	}
-	t1.AddRow("RTC", stats.F(base.Gbps(), 2), stats.F(base.Mpps(), 2),
-		stats.F(base.CyclesPerPacket(), 1), "1.00")
-	for _, tasks := range taskSweep {
+	results := make([]rt.Result, 1+len(taskSweep))
+	if err := o.forEach(len(results), func(i int) error {
 		as, prog, src, err := buildUPF(sessions, 16, 64, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := runIL(o, as, prog, src, tasks, warm, window)
-		if err != nil {
-			return nil, err
+		if i == 0 {
+			results[0], err = runRTC(o, as, prog, src, warm, window)
+		} else {
+			results[i], err = runIL(o, as, prog, src, taskSweep[i-1], warm, window)
 		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	base := results[0]
+	t1.AddRow("RTC", stats.F(base.Gbps(), 2), stats.F(base.Mpps(), 2),
+		stats.F(base.CyclesPerPacket(), 1), "1.00")
+	for i, tasks := range taskSweep {
+		res := results[i+1]
 		t1.AddRow("IL-"+stats.I(tasks), stats.F(res.Gbps(), 2), stats.F(res.Mpps(), 2),
 			stats.F(res.CyclesPerPacket(), 1), stats.F(res.Gbps()/base.Gbps(), 2))
 	}
@@ -55,24 +57,26 @@ func Fig10(o Options) ([]*stats.Table, error) {
 	t2 := stats.NewTable(
 		"Figure 10(b,c,d) — UPF cache utilization and IPC vs PDRs (16 NFTasks vs RTC)",
 		"pdrs", "rtc-l1hit", "il16-l1hit", "rtc-l2hit", "il16-l2hit", "rtc-ipc", "il16-ipc")
-	for _, pdrs := range pdrSweep {
+	rows := make([][]string, len(pdrSweep))
+	if err := o.forEach(len(pdrSweep), func(i int) error {
+		pdrs := pdrSweep[i]
 		as, prog, src, err := buildUPF(sessions, pdrs, 64, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rtcRes, err := runRTC(o, as, prog, src, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		as2, prog2, src2, err := buildUPF(sessions, pdrs, 64, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ilRes, err := runIL(o, as2, prog2, src2, 16, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t2.AddRow(
+		rows[i] = []string{
 			stats.I(pdrs),
 			stats.Pct(rtcRes.Counters.L1HitRate()),
 			stats.Pct(ilRes.Counters.L1HitRate()),
@@ -80,7 +84,13 @@ func Fig10(o Options) ([]*stats.Table, error) {
 			stats.Pct(ilRes.Counters.L2HitRate()),
 			stats.F(rtcRes.Counters.IPC(), 2),
 			stats.F(ilRes.Counters.IPC(), 2),
-		)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t2.AddRow(row...)
 	}
 	return []*stats.Table{t1, t2}, nil
 }
@@ -123,27 +133,27 @@ func Fig11(o Options) ([]*stats.Table, error) {
 		"Figure 11 — NAT throughput and cache utilization vs interleaved NFTasks (130K flows, 64B, 1 core)",
 		"config", "gbps", "mpps", "l1hit", "l2hit", "ipc", "speedup-vs-rtc")
 
-	as, prog, src, err := buildNAT(flows, 64, o.Seed)
-	if err != nil {
+	results := make([]rt.Result, 1+len(taskSweep))
+	if err := o.forEach(len(results), func(i int) error {
+		as, prog, src, err := buildNAT(flows, 64, o.Seed)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			results[0], err = runRTC(o, as, prog, src, warm, window)
+		} else {
+			results[i], err = runIL(o, as, prog, src, taskSweep[i-1], warm, window)
+		}
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	base, err := runRTC(o, as, prog, src, warm, window)
-	if err != nil {
-		return nil, err
-	}
+	base := results[0]
 	t.AddRow("RTC", stats.F(base.Gbps(), 2), stats.F(base.Mpps(), 2),
 		stats.Pct(base.Counters.L1HitRate()), stats.Pct(base.Counters.L2HitRate()),
 		stats.F(base.Counters.IPC(), 2), "1.00")
-
-	for _, tasks := range taskSweep {
-		as, prog, src, err := buildNAT(flows, 64, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runIL(o, as, prog, src, tasks, warm, window)
-		if err != nil {
-			return nil, err
-		}
+	for i, tasks := range taskSweep {
+		res := results[i+1]
 		t.AddRow("IL-"+stats.I(tasks), stats.F(res.Gbps(), 2), stats.F(res.Mpps(), 2),
 			stats.Pct(res.Counters.L1HitRate()), stats.Pct(res.Counters.L2HitRate()),
 			stats.F(res.Counters.IPC(), 2), stats.F(res.Gbps()/base.Gbps(), 2))

@@ -38,30 +38,32 @@ func Fig12(o Options) ([]*stats.Table, error) {
 	// Message type 0 runs the full interleaved call flow — the
 	// cycle-weighted aggregate, where the state-heaviest messages
 	// dominate and data packing shows its net effect.
-	for m := uint8(0); int(m) <= traffic.NumAMFMessages; m++ {
+	rows := make([][]string, traffic.NumAMFMessages+1)
+	if err := o.forEach(len(rows), func(i int) error {
+		m := uint8(i)
 		as, prog, src, _, err := buildAMF(ues, m, o.Seed, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rtcRes, err := runRTC(o, as, prog, src, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		as2, prog2, src2, _, err := buildAMF(ues, m, o.Seed, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ilRes, err := runIL(o, as2, prog2, src2, 16, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		as3, prog3, src3, _, err := buildAMF(ues, m, o.Seed, packed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dpRes, err := runIL(o, as3, prog3, src3, 16, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, _, rtcLLC := rtcRes.MissesPerPacket()
 		_, _, ilLLC := ilRes.MissesPerPacket()
@@ -69,7 +71,7 @@ func Fig12(o Options) ([]*stats.Table, error) {
 		if m == 0 {
 			label = "FullCallFlow"
 		}
-		t.AddRow(
+		rows[i] = []string{
 			label,
 			stats.F(rtcRes.Mpps()*1000, 1),
 			stats.F(ilRes.Mpps()*1000, 1),
@@ -78,7 +80,13 @@ func Fig12(o Options) ([]*stats.Table, error) {
 			stats.F(dpRes.Mpps()/ilRes.Mpps(), 2),
 			stats.F(rtcLLC, 2),
 			stats.F(ilLLC, 2),
-		)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*stats.Table{t}, nil
 }
@@ -196,59 +204,69 @@ func Fig13(o Options) ([]*stats.Table, error) {
 		"Figure 13(c) — SFC IPC by configuration",
 		"len", "rtc-ipc", "il16-ipc", "il+dp-ipc", "il+dp+mr-ipc")
 
-	for _, length := range lengths {
+	rows := make([][]string, len(lengths))
+	rows2 := make([][]string, len(lengths))
+	if err := o.forEach(len(lengths), func(i int) error {
+		length := lengths[i]
 		// RTC baseline (plain chain, no optimizations).
 		as, prog, src, err := sfcSetup(length, flows, false, compile.SFCOptions{}, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rtcRes, err := runRTC(o, as, prog, src, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Interleaved.
 		as, prog, src, err = sfcSetup(length, flows, false, compile.SFCOptions{}, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ilRes, err := runIL(o, as, prog, src, 16, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Interleaved + data packing (fused pools).
 		as, prog, src, err = sfcSetup(length, flows, true, compile.SFCOptions{}, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dpRes, err := runIL(o, as, prog, src, 16, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Interleaved + DP + redundant matching removal.
 		as, prog, src, err = sfcSetup(length, flows, true, compile.SFCOptions{RemoveRedundantMatching: true}, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mrRes, err := runIL(o, as, prog, src, 16, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		t.AddRow(
+		rows[i] = []string{
 			stats.I(length),
 			stats.F(rtcRes.Gbps(), 2),
 			stats.F(ilRes.Gbps(), 2),
 			stats.F(dpRes.Gbps(), 2),
 			stats.F(mrRes.Gbps(), 2),
 			stats.F(mrRes.Gbps()/rtcRes.Gbps(), 2),
-		)
-		t2.AddRow(
+		}
+		rows2[i] = []string{
 			stats.I(length),
 			stats.F(rtcRes.Counters.IPC(), 2),
 			stats.F(ilRes.Counters.IPC(), 2),
 			stats.F(dpRes.Counters.IPC(), 2),
 			stats.F(mrRes.Counters.IPC(), 2),
-		)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i := range lengths {
+		t.AddRow(rows[i]...)
+		t2.AddRow(rows2[i]...)
 	}
 	return []*stats.Table{t, t2}, nil
 }

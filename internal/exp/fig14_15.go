@@ -77,18 +77,26 @@ func Fig14(o Options) ([]*stats.Table, error) {
 		coreCounts = []int{1, 2, 4}
 	}
 
+	// The (size × cores) grid flattens into one sweep so every cell can
+	// run concurrently; cells are re-assembled into rows by index.
 	t := stats.NewTable(
 		"Figure 14 — SFC(6) multi-core scaling, GuNFu (IL-16 + DP + MR) aggregate Gbps ('*' = line rate)",
 		append([]string{"size"}, coreLabels(coreCounts)...)...)
-	for _, size := range packetSizes {
-		row := []string{sizeLabel(size)}
-		for _, cores := range coreCounts {
-			agg, err := runSFCCores(o, 6, totalFlows, size, cores, perCore, true)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, capGbps(agg.Gbps()))
+	cells := make([]string, len(packetSizes)*len(coreCounts))
+	if err := o.forEach(len(cells), func(i int) error {
+		size := packetSizes[i/len(coreCounts)]
+		cores := coreCounts[i%len(coreCounts)]
+		agg, err := runSFCCores(o, 6, totalFlows, size, cores, perCore, true)
+		if err != nil {
+			return err
 		}
+		cells[i] = capGbps(agg.Gbps())
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for si, size := range packetSizes {
+		row := append([]string{sizeLabel(size)}, cells[si*len(coreCounts):(si+1)*len(coreCounts)]...)
 		t.AddRow(row...)
 	}
 
@@ -102,16 +110,24 @@ func Fig14(o Options) ([]*stats.Table, error) {
 	t2 := stats.NewTable(
 		"Figure 14 (comparison) — monolithic RTC (BESS-style) vs GuNFu, SFC(6), "+stats.I(cmpCores)+" cores",
 		"size", "rtc-gbps", "gunfu-gbps")
-	for _, size := range packetSizes {
+	rows2 := make([][]string, len(packetSizes))
+	if err := o.forEach(len(packetSizes), func(i int) error {
+		size := packetSizes[i]
 		rtcAgg, err := runSFCCores(o, 6, totalFlows, size, cmpCores, perCore, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ilAgg, err := runSFCCores(o, 6, totalFlows, size, cmpCores, perCore, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t2.AddRow(sizeLabel(size), capGbps(rtcAgg.Gbps()), capGbps(ilAgg.Gbps()))
+		rows2[i] = []string{sizeLabel(size), capGbps(rtcAgg.Gbps()), capGbps(ilAgg.Gbps())}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows2 {
+		t2.AddRow(row...)
 	}
 	return []*stats.Table{t, t2}, nil
 }
@@ -173,7 +189,7 @@ func runSFCCores(o Options, length, totalFlows, size, cores int, perCore uint64,
 	if err != nil {
 		return rt.Result{}, err
 	}
-	return rt.Aggregate(results), nil
+	return rt.AggregateStrict(results)
 }
 
 // sfcSetupSized builds the fully optimized (fused DP + MR) SFC over a
@@ -237,15 +253,21 @@ func Fig15(o Options) ([]*stats.Table, error) {
 	t := stats.NewTable(
 		"Figure 15 — UPF multi-core scaling, GuNFu aggregate Gbps (130K sessions, 16 PDRs; '*' = line rate)",
 		append([]string{"size"}, coreLabels(coreCounts)...)...)
-	for _, size := range sizes {
-		row := []string{sizeLabel(size)}
-		for _, cores := range coreCounts {
-			agg, err := runUPFCores(o, totalSessions, size, cores, perCore, true)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, capGbps(agg.Gbps()))
+	cells := make([]string, len(sizes)*len(coreCounts))
+	if err := o.forEach(len(cells), func(i int) error {
+		size := sizes[i/len(coreCounts)]
+		cores := coreCounts[i%len(coreCounts)]
+		agg, err := runUPFCores(o, totalSessions, size, cores, perCore, true)
+		if err != nil {
+			return err
 		}
+		cells[i] = capGbps(agg.Gbps())
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for si, size := range sizes {
+		row := append([]string{sizeLabel(size)}, cells[si*len(coreCounts):(si+1)*len(coreCounts)]...)
 		t.AddRow(row...)
 	}
 
@@ -259,16 +281,24 @@ func Fig15(o Options) ([]*stats.Table, error) {
 	t2 := stats.NewTable(
 		"Figure 15 (comparison) — monolithic RTC (L25GC-style) vs GuNFu, 16 PDRs, "+stats.I(cmpCores)+" cores",
 		"size", "rtc-gbps", "gunfu-gbps")
-	for _, size := range sizes {
+	rows2 := make([][]string, len(sizes))
+	if err := o.forEach(len(sizes), func(i int) error {
+		size := sizes[i]
 		rtcAgg, err := runUPFCores(o, totalSessions, size, cmpCores, perCore, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ilAgg, err := runUPFCores(o, totalSessions, size, cmpCores, perCore, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t2.AddRow(sizeLabel(size), capGbps(rtcAgg.Gbps()), capGbps(ilAgg.Gbps()))
+		rows2[i] = []string{sizeLabel(size), capGbps(rtcAgg.Gbps()), capGbps(ilAgg.Gbps())}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows2 {
+		t2.AddRow(row...)
 	}
 	return []*stats.Table{t, t2}, nil
 }
@@ -331,7 +361,7 @@ func runUPFCores(o Options, totalSessions, size, cores int, perCore uint64, inte
 	if err != nil {
 		return rt.Result{}, err
 	}
-	return rt.Aggregate(results), nil
+	return rt.AggregateStrict(results)
 }
 
 // caidaMGW wraps the MGW generator with the CAIDA IMIX size mix: UE-

@@ -44,25 +44,33 @@ func Fig2(o Options) ([]*stats.Table, error) {
 	t1 := stats.NewTable(
 		"Figure 2(a) — RTC UPF vs PFCP session count (PDRs=16, 64B packets, 1 core)",
 		"sessions", "gbps", "mpps", "cyc/pkt", "l1miss/pkt", "llcmiss/pkt", "state-access%")
-	for _, sessions := range sessionsSweep {
+	rows1 := make([][]string, len(sessionsSweep))
+	if err := o.forEach(len(sessionsSweep), func(i int) error {
+		sessions := sessionsSweep[i]
 		as, prog, src, err := buildUPF(sessions, 16, 64, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runRTC(o, as, prog, src, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l1, _, llc := res.MissesPerPacket()
-		t1.AddRow(
+		rows1[i] = []string{
 			stats.I(sessions),
 			stats.F(res.Gbps(), 2),
 			stats.F(res.Mpps(), 2),
 			stats.F(res.CyclesPerPacket(), 1),
 			stats.F(l1, 2),
 			stats.F(llc, 2),
-			stats.Pct(float64(res.AccessCycles)/float64(res.Cycles)),
-		)
+			stats.Pct(float64(res.AccessCycles) / float64(res.Cycles)),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows1 {
+		t1.AddRow(row...)
 	}
 
 	pdrSweep := []int{2, 8, 16, 32, 64}
@@ -73,24 +81,32 @@ func Fig2(o Options) ([]*stats.Table, error) {
 	t2 := stats.NewTable(
 		"Figure 2(b) — RTC UPF vs PDRs per session (sessions=2^15, 64B packets, 1 core)",
 		"pdrs", "gbps", "mpps", "cyc/pkt", "l1miss/pkt", "llcmiss/pkt")
-	for _, pdrs := range pdrSweep {
+	rows2 := make([][]string, len(pdrSweep))
+	if err := o.forEach(len(pdrSweep), func(i int) error {
+		pdrs := pdrSweep[i]
 		as, prog, src, err := buildUPF(fixedSessions, pdrs, 64, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runRTC(o, as, prog, src, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l1, _, llc := res.MissesPerPacket()
-		t2.AddRow(
+		rows2[i] = []string{
 			stats.I(pdrs),
 			stats.F(res.Gbps(), 2),
 			stats.F(res.Mpps(), 2),
 			stats.F(res.CyclesPerPacket(), 1),
 			stats.F(l1, 2),
 			stats.F(llc, 2),
-		)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows2 {
+		t2.AddRow(row...)
 	}
 	return []*stats.Table{t1, t2}, nil
 }
@@ -125,25 +141,33 @@ func Fig3(o Options) ([]*stats.Table, error) {
 	t := stats.NewTable(
 		"Figure 3 — RTC AMF state-intensive registration messages (UEs=2^17, 1 core)",
 		"message", "kmsg/s", "cyc/msg", "state-access%", "l1miss/msg", "l2miss/msg", "llcmiss/msg")
-	for m := uint8(1); int(m) <= traffic.NumAMFMessages; m++ {
+	rows := make([][]string, traffic.NumAMFMessages)
+	if err := o.forEach(traffic.NumAMFMessages, func(i int) error {
+		m := uint8(i + 1)
 		as, prog, src, _, err := buildAMF(ues, m, o.Seed, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runRTC(o, as, prog, src, warm, window)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l1, l2, llc := res.MissesPerPacket()
-		t.AddRow(
+		rows[i] = []string{
 			traffic.AMFMessageName(m),
 			stats.F(res.Mpps()*1000, 1),
 			stats.F(res.CyclesPerPacket(), 1),
-			stats.Pct(float64(res.AccessCycles)/float64(res.Cycles)),
+			stats.Pct(float64(res.AccessCycles) / float64(res.Cycles)),
 			stats.F(l1, 2),
 			stats.F(l2, 2),
 			stats.F(llc, 2),
-		)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*stats.Table{t}, nil
 }

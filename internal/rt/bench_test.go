@@ -1,0 +1,66 @@
+package rt_test
+
+import (
+	"testing"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/rtc"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+// BenchmarkWorkerSteadyState measures host-side ns/packet of the
+// interleaved worker on a warm 8K-flow NAT. With the traffic pool and
+// the worker's batch reuse, steady state must report 0 allocs/op —
+// that is the regression guard for the receive path.
+func BenchmarkWorkerSteadyState(b *testing.B) {
+	prog, g := buildNAT(b, 1<<13)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	w, err := rt.NewWorker(core, as, prog, rt.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Run(g, 4096); err != nil { // warm caches and pools
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := w.Run(g, uint64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Packets != uint64(b.N) {
+		b.Fatalf("processed %d packets, want %d", res.Packets, b.N)
+	}
+}
+
+// BenchmarkRTCSteadyState is the same workload under the
+// run-to-completion baseline, for host-cost comparison.
+func BenchmarkRTCSteadyState(b *testing.B) {
+	prog, g := buildNAT(b, 1<<13)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	w, err := rtc.NewWorker(core, as, prog, rtc.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Run(g, 4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := w.Run(g, uint64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Packets != uint64(b.N) {
+		b.Fatalf("processed %d packets, want %d", res.Packets, b.N)
+	}
+}

@@ -70,17 +70,21 @@ func (e *Engine) Run(perCorePackets uint64) ([]Result, error) {
 
 // Aggregate combines per-core results into a fleet view. Since cores
 // run concurrently, the aggregate window is the slowest core's cycle
-// span and throughput is the sum of per-core rates.
+// span and throughput is the sum of per-core rates. FreqHz is taken
+// from the core that defines the window (the one with the most
+// cycles), so throughput conversion uses the clock the window was
+// measured in; heterogeneous-clock fleets should use AggregateStrict
+// to surface the mismatch instead.
 func Aggregate(results []Result) Result {
 	var agg Result
 	for _, r := range results {
 		agg.Packets += r.Packets
 		agg.AccessCycles += r.AccessCycles
-		agg.Counters = addCounters(agg.Counters, r.Counters)
-		if r.Cycles > agg.Cycles {
+		agg.Counters = agg.Counters.Add(r.Counters)
+		if r.Cycles >= agg.Cycles {
 			agg.Cycles = r.Cycles
+			agg.FreqHz = r.FreqHz
 		}
-		agg.FreqHz = r.FreqHz
 	}
 	// Sum of per-core throughputs expressed through the common window:
 	// scale bits so Bits/window == Σ bits_i/window_i.
@@ -94,24 +98,17 @@ func Aggregate(results []Result) Result {
 	return agg
 }
 
-func addCounters(a, b sim.Counters) sim.Counters {
-	return sim.Counters{
-		Cycles:            a.Cycles + b.Cycles,
-		Instructions:      a.Instructions + b.Instructions,
-		Reads:             a.Reads + b.Reads,
-		Writes:            a.Writes + b.Writes,
-		L1Hits:            a.L1Hits + b.L1Hits,
-		L1Misses:          a.L1Misses + b.L1Misses,
-		L2Hits:            a.L2Hits + b.L2Hits,
-		L2Misses:          a.L2Misses + b.L2Misses,
-		LLCHits:           a.LLCHits + b.LLCHits,
-		LLCMisses:         a.LLCMisses + b.LLCMisses,
-		PrefetchIssued:    a.PrefetchIssued + b.PrefetchIssued,
-		PrefetchDropped:   a.PrefetchDropped + b.PrefetchDropped,
-		PrefetchRedundant: a.PrefetchRedundant + b.PrefetchRedundant,
-		PrefetchUseful:    a.PrefetchUseful + b.PrefetchUseful,
-		PrefetchLate:      a.PrefetchLate + b.PrefetchLate,
-		StallCycles:       a.StallCycles + b.StallCycles,
-		TaskSwitches:      a.TaskSwitches + b.TaskSwitches,
+// AggregateStrict is Aggregate with a clock-consistency check: all
+// cores must report the same FreqHz, since summing throughput across
+// cores with different clocks through a single cycle window would be
+// silently wrong. The multi-core experiments (Figs 14, 15) use this
+// form.
+func AggregateStrict(results []Result) (Result, error) {
+	for i, r := range results {
+		if r.FreqHz != results[0].FreqHz {
+			return Result{}, fmt.Errorf("rt: aggregate: core %d clock %.0f Hz differs from core 0 clock %.0f Hz",
+				i, r.FreqHz, results[0].FreqHz)
+		}
 	}
+	return Aggregate(results), nil
 }

@@ -139,6 +139,15 @@ type Worker struct {
 	ring  *pkt.Ring
 	tasks []*model.Exec
 	seq   uint64
+	// batch is the reusable rx burst buffer: allocated once, refilled
+	// by every receive call, so steady state allocates nothing.
+	batch []*pkt.Packet
+	// ringNext holds the scheduler's circular list of live task indexes,
+	// rebuilt per batch. Finished tasks are unlinked so the interleave
+	// loop never spins over them; the cyclic visit order of the
+	// remaining tasks — and thus every simulated event — is identical to
+	// round-robin-with-skip.
+	ringNext []int32
 }
 
 // NewWorker builds a worker for prog on core, reserving the NFTask
@@ -157,7 +166,9 @@ func NewWorker(core *sim.Core, as *mem.AddressSpace, prog *model.Program, cfg Co
 		prog:  prog,
 		cfg:   cfg,
 		ring:  ring,
-		tasks: make([]*model.Exec, cfg.Tasks),
+		tasks:    make([]*model.Exec, cfg.Tasks),
+		batch:    make([]*pkt.Packet, 0, cfg.Batch),
+		ringNext: make([]int32, cfg.Tasks),
 	}
 	tempSize := uint64(prog.TempLines()) * sim.LineBytes
 	for i := range w.tasks {
@@ -174,13 +185,15 @@ func NewWorker(core *sim.Core, as *mem.AddressSpace, prog *model.Program, cfg Co
 func (w *Worker) Core() *sim.Core { return w.core }
 
 // receive pulls up to Batch packets from src, assigning ring slots and
-// modelling the DDIO fill of their header lines.
+// modelling the DDIO fill of their header lines. The returned slice
+// aliases the worker's reusable batch buffer and is only valid until
+// the next receive call.
 func (w *Worker) receive(src Source, limit uint64) []*pkt.Packet {
 	n := w.cfg.Batch
 	if limit > 0 && uint64(n) > limit {
 		n = int(limit)
 	}
-	batch := make([]*pkt.Packet, 0, n)
+	batch := w.batch[:0]
 	for len(batch) < n {
 		p := src.Next()
 		if p == nil {
@@ -221,7 +234,8 @@ func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
 			remaining -= uint64(len(batch))
 		}
 
-		// Initialize NFTasks with the batch head.
+		// Initialize NFTasks with the batch head and link them into the
+		// scheduler ring.
 		next := 0
 		active := 0
 		for _, t := range w.tasks {
@@ -232,21 +246,26 @@ func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
 			next++
 			active++
 		}
+		for i := 0; i < active; i++ {
+			w.ringNext[i] = int32(i + 1)
+		}
+		w.ringNext[active-1] = 0
 
-		// Interleave until the whole batch is processed.
-		n := 0
+		// Interleave until the whole batch is processed, visiting the
+		// live tasks cyclically. Tasks that finish with no packet left
+		// to refill are unlinked from the ring.
+		chargeSwitch := len(w.tasks) > 1 || w.cfg.Prefetch
+		cur, prev := int32(0), int32(active-1)
 		for active > 0 {
-			t := w.tasks[n]
-			n = (n + 1) % len(w.tasks)
-			if t.Done {
-				continue
-			}
+			t := w.tasks[cur]
 			if w.cfg.Prefetch && !t.Prefetched {
 				if w.cfg.ResidentCheck && w.prog.ResidentCurrent(t) {
 					t.Prefetched = true
 				} else {
 					w.prog.PrefetchCurrent(t)
 					w.core.TaskSwitch()
+					prev = cur
+					cur = w.ringNext[cur]
 					continue
 				}
 			}
@@ -263,11 +282,19 @@ func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
 					next++
 				} else {
 					active--
+					w.ringNext[prev] = w.ringNext[cur]
+					if chargeSwitch {
+						w.core.TaskSwitch()
+					}
+					cur = w.ringNext[cur]
+					continue
 				}
 			}
-			if len(w.tasks) > 1 || w.cfg.Prefetch {
+			if chargeSwitch {
 				w.core.TaskSwitch()
 			}
+			prev = cur
+			cur = w.ringNext[cur]
 		}
 		if maxPackets > 0 && remaining == 0 {
 			break

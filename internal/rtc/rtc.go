@@ -48,6 +48,8 @@ type Worker struct {
 	ring *pkt.Ring
 	exec *model.Exec
 	seq  uint64
+	// batch is the reusable rx burst buffer (see rt.Worker.receive).
+	batch []*pkt.Packet
 }
 
 // NewWorker builds an RTC worker for prog on core.
@@ -62,11 +64,12 @@ func NewWorker(core *sim.Core, as *mem.AddressSpace, prog *model.Program, cfg Co
 	}
 	tempSize := uint64(prog.TempLines()) * sim.LineBytes
 	return &Worker{
-		core: core,
-		prog: prog,
-		cfg:  cfg,
-		ring: ring,
-		exec: &model.Exec{Core: core, TempAddr: as.Reserve(tempSize, sim.LineBytes)},
+		core:  core,
+		prog:  prog,
+		cfg:   cfg,
+		ring:  ring,
+		exec:  &model.Exec{Core: core, TempAddr: as.Reserve(tempSize, sim.LineBytes)},
+		batch: make([]*pkt.Packet, 0, cfg.Batch),
 	}, nil
 }
 
@@ -90,7 +93,7 @@ func (w *Worker) Run(src rt.Source, maxPackets uint64) (rt.Result, error) {
 		if maxPackets > 0 && maxPackets-done < uint64(n) {
 			n = int(maxPackets - done)
 		}
-		batch := make([]*pkt.Packet, 0, n)
+		batch := w.batch[:0]
 		for len(batch) < n {
 			p := src.Next()
 			if p == nil {

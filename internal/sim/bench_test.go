@@ -1,0 +1,101 @@
+package sim
+
+import "testing"
+
+// Host-side microbenchmarks for the simulator's hot kernels. These
+// measure *host* nanoseconds, not simulated cycles: the simulator's
+// answers are fixed by construction (see golden tests), so the only
+// thing allowed to change here is how fast the host computes them.
+
+// benchCore returns a fresh default core, failing the benchmark on
+// config errors.
+func benchCore(b *testing.B) *Core {
+	b.Helper()
+	c, err := NewCore(DefaultConfig())
+	if err != nil {
+		b.Fatalf("NewCore: %v", err)
+	}
+	return c
+}
+
+// BenchmarkCacheLookup measures the raw tag-scan kernel on a warm L1
+// set: the single most executed loop in the simulator.
+func BenchmarkCacheLookup(b *testing.B) {
+	c := newCache(DefaultConfig().L1)
+	// Fill a handful of sets so lookups traverse realistic occupancy.
+	lines := make([]uint64, 64)
+	for i := range lines {
+		lines[i] = uint64(i)
+		c.install(lines[i], uint64(i), uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var slot int
+	for i := 0; i < b.N; i++ {
+		slot = c.lookup(lines[i&63])
+	}
+	if slot < 0 {
+		b.Fatal("warm line missed")
+	}
+}
+
+// BenchmarkCoreReadHit measures a demand read that always hits L1 —
+// the steady-state fast path of every state access.
+func BenchmarkCoreReadHit(b *testing.B) {
+	c := benchCore(b)
+	const addr = 1 << 20
+	c.Read(addr, 8) // warm the line
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(addr, 8)
+	}
+}
+
+// BenchmarkCoreReadMiss measures demand reads over a footprint far
+// beyond the LLC, so (almost) every access walks the full miss path:
+// three tag scans plus three installs.
+func BenchmarkCoreReadMiss(b *testing.B) {
+	c := benchCore(b)
+	span := uint64(64 << 20) // 64 MiB >> 2 MiB LLC
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := (uint64(i) * 8 * LineBytes) % span
+		c.Read(addr, 8)
+	}
+}
+
+// BenchmarkPrefetchLine measures the prefetch issue path, including
+// the MSHR occupancy check, with periodic stalls so fills retire and
+// the MSHR list cycles through fill and drain.
+func BenchmarkPrefetchLine(b *testing.B) {
+	c := benchCore(b)
+	mshrs := c.cfg.MSHRs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i) * 64 * LineBytes // distinct sets, never resident
+		c.Prefetch(addr, 8)
+		if i%mshrs == mshrs-1 {
+			c.Stall(c.cfg.DRAMLatency) // retire outstanding fills
+		}
+	}
+}
+
+// BenchmarkResidentL1 measures the P-state verification probe on a
+// resident single-line span (the dominant case: spans are <= 64 B).
+func BenchmarkResidentL1(b *testing.B) {
+	c := benchCore(b)
+	const addr = 1 << 20
+	c.Read(addr, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ok := true
+	for i := 0; i < b.N; i++ {
+		ok = c.ResidentL1(addr, 8) && ok
+	}
+	if !ok {
+		b.Fatal("warm line not resident")
+	}
+}

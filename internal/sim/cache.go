@@ -1,94 +1,198 @@
 package sim
 
-// cache is one set-associative level with LRU replacement. Tags carry a
+// cache is one set-associative level with LRU replacement. Slots carry a
 // readyAt timestamp so asynchronously prefetched lines can be installed
 // immediately (creating realistic occupancy pressure) while still stalling
 // accesses that arrive before the fill completes.
+//
+// Host-side layout: tags are compact uint32s (only the line bits above
+// the set index — the rest is implied by the set), so a full 16-way
+// set's tags fit in one host cache line and the scan kernels walk
+// contiguous memory. The per-way LRU stamp and fill bookkeeping live in
+// a parallel meta array touched only on hits, installs and the full-set
+// LRU pass. A small per-set hint table remembers recent hit ways and is
+// probed before any scan. None of this changes simulated behavior: a
+// line occupies at most one way of its set, so whichever order ways are
+// probed in, the same slot is found.
 type cache struct {
 	cfg     CacheConfig
 	sets    int
+	ways    int
 	setMask uint64
-	// tags[set*ways+way] holds line|1 (bit 0 = valid); 0 means invalid.
-	tags []uint64
-	// stamp[set*ways+way] is the last-use clock for LRU.
-	stamp []uint64
-	// readyAt[set*ways+way] is the cycle at which the line's fill
-	// completes; accesses earlier than this stall for the remainder.
-	readyAt []uint64
-	// prefetched[set*ways+way] marks lines installed by a prefetch that
-	// have not yet served a demand access, for PMU efficacy accounting.
-	prefetched []bool
+	// setShift is log2(sets): how far to shift a line to get its tag.
+	setShift uint
+	// tags[set*ways+way] holds tag<<1|1 (bit 0 = valid); 0 means invalid.
+	tags []uint32
+	// stamps[set*ways+way] is the slot's last-use clock, kept dense so
+	// the full-set LRU pass walks one or two host cache lines.
+	stamps []uint64
+	// fill[set*ways+way] is the slot's fill bookkeeping, touched only on
+	// hits and installs.
+	fill []fillMeta
+	// hint holds 4 sub-hints per set, selected by line bits above the
+	// set index, each remembering the way of a recent hit or install for
+	// that line group — probed before the tag scan (MRU-first shortcut).
+	// Sub-hints keep distinct hot lines of one set from evicting each
+	// other's shortcut. Host-side accelerator only: every hint is
+	// verified against the tag before use.
+	hint []int32
+}
+
+// fillMeta is the fill state of one cache slot.
+type fillMeta struct {
+	// readyAt is the cycle at which the line's fill completes; accesses
+	// earlier than this stall for the remainder.
+	readyAt uint64
+	// prefetched marks lines installed by a prefetch that have not yet
+	// served a demand access, for PMU efficacy accounting.
+	prefetched bool
 }
 
 func newCache(cfg CacheConfig) *cache {
 	sets := cfg.Sets()
 	n := sets * cfg.Ways
-	return &cache{
-		cfg:        cfg,
-		sets:       sets,
-		setMask:    uint64(sets - 1),
-		tags:       make([]uint64, n),
-		stamp:      make([]uint64, n),
-		readyAt:    make([]uint64, n),
-		prefetched: make([]bool, n),
+	shift := uint(0)
+	for 1<<shift < sets {
+		shift++
 	}
+	return &cache{
+		cfg:      cfg,
+		sets:     sets,
+		ways:     cfg.Ways,
+		setMask:  uint64(sets - 1),
+		setShift: shift,
+		tags:     make([]uint32, n),
+		stamps:   make([]uint64, n),
+		fill:     make([]fillMeta, n),
+		hint:     make([]int32, sets*4),
+	}
+}
+
+// tagOf packs line into its stored tag. Compact tags require line
+// numbers below 2^31 × sets (petabytes of address space); tagOf panics
+// rather than aliasing if a workload ever exceeds that.
+func (c *cache) tagOf(line uint64) uint32 {
+	t := line >> c.setShift
+	if t >= 1<<31 {
+		panic("sim: line address too large for compact cache tags")
+	}
+	return uint32(t)<<1 | 1
 }
 
 // lookup returns the slot index of line in its set, or -1.
 func (c *cache) lookup(line uint64) int {
+	return c.find(line)
+}
+
+// find returns the slot of line in its set, or -1. It touches only the
+// tag array: the hinted way first (MRU-first shortcut), then a dense
+// scan. An invalid tag ends the scan early because valid ways always
+// form a prefix of the set: installs fill the lowest-index invalid way
+// and lines are never invalidated individually (only invalidateAll).
+func (c *cache) find(line uint64) int {
 	set := int(line & c.setMask)
-	base := set * c.cfg.Ways
-	want := line<<1 | 1
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.tags[base+w] == want {
+	base := set * c.ways
+	want := c.tagOf(line)
+	hi := set<<2 | int(line>>c.setShift)&3
+	h := base + int(c.hint[hi])
+	if c.tags[h] == want {
+		return h
+	}
+	tags := c.tags[base : base+c.ways]
+	for w, tag := range tags {
+		if tag == want {
+			c.hint[hi] = int32(w)
 			return base + w
+		}
+		if tag == 0 {
+			return -1
 		}
 	}
 	return -1
 }
 
+// probe scans line's set once, returning the hit slot (or -1) and the
+// victim slot an install into this set would use. The victim choice is
+// exactly the historical install policy: the lowest-index invalid way
+// if one exists, else the way with the strictly smallest LRU stamp
+// (ties to the lowest index). The LRU stamp pass runs only on a miss in
+// a full set — the one case that actually evicts — so hits and misses
+// with free ways stay on the dense tags-only path.
+func (c *cache) probe(line uint64) (slot, victim int) {
+	set := int(line & c.setMask)
+	base := set * c.ways
+	want := c.tagOf(line)
+	// MRU-first: the hinted way hits first for repeated accesses.
+	hi := set<<2 | int(line>>c.setShift)&3
+	h := base + int(c.hint[hi])
+	if c.tags[h] == want {
+		return h, -1
+	}
+	tags := c.tags[base : base+c.ways]
+	for w, tag := range tags {
+		if tag == want {
+			c.hint[hi] = int32(w)
+			return base + w, -1
+		}
+		if tag == 0 {
+			// Valid ways are a prefix (see find), so no hit lies
+			// beyond and this is the lowest-index invalid way.
+			return -1, base + w
+		}
+	}
+	victim = base
+	oldest := c.stamps[base]
+	for s := base + 1; s < base+c.ways; s++ {
+		if st := c.stamps[s]; st < oldest {
+			oldest = st
+			victim = s
+		}
+	}
+	return -1, victim
+}
+
 // touch records a use of slot at the given clock for LRU ordering.
 func (c *cache) touch(slot int, now uint64) {
-	c.stamp[slot] = now
+	c.stamps[slot] = now
 }
 
 // install places line into its set, evicting the LRU way if needed, and
 // returns the slot. readyAt is the cycle the fill completes (== now for
 // demand fills, later for prefetch fills).
 func (c *cache) install(line, now, readyAt uint64) int {
-	set := int(line & c.setMask)
-	base := set * c.cfg.Ways
-	victim := base
-	oldest := c.stamp[base]
-	for w := 0; w < c.cfg.Ways; w++ {
-		slot := base + w
-		if c.tags[slot] == 0 {
-			victim = slot
-			break
-		}
-		if c.stamp[slot] < oldest {
-			oldest = c.stamp[slot]
-			victim = slot
-		}
+	slot, victim := c.probe(line)
+	if slot < 0 {
+		slot = victim
 	}
-	c.tags[victim] = line<<1 | 1
-	c.stamp[victim] = now
-	c.readyAt[victim] = readyAt
-	c.prefetched[victim] = false
-	return victim
+	c.installAt(slot, line, now, readyAt)
+	return slot
+}
+
+// installAt fills a victim slot previously returned by probe. The caller
+// guarantees no install or touch hit this set between the probe and the
+// fill, so the victim choice is still current.
+func (c *cache) installAt(slot int, line, now, readyAt uint64) {
+	c.tags[slot] = c.tagOf(line)
+	c.stamps[slot] = now
+	c.fill[slot] = fillMeta{readyAt: readyAt}
+	set := int(line & c.setMask)
+	hi := set<<2 | int(line>>c.setShift)&3
+	c.hint[hi] = int32(slot - set*c.ways)
 }
 
 // invalidateAll clears every line; used by Core.Reset.
 func (c *cache) invalidateAll() {
 	for i := range c.tags {
 		c.tags[i] = 0
-		c.stamp[i] = 0
-		c.readyAt[i] = 0
-		c.prefetched[i] = false
+		c.stamps[i] = 0
+		c.fill[i] = fillMeta{}
+	}
+	for i := range c.hint {
+		c.hint[i] = 0
 	}
 }
 
 // resident reports whether line is present (regardless of fill state).
 func (c *cache) resident(line uint64) bool {
-	return c.lookup(line) >= 0
+	return c.find(line) >= 0
 }

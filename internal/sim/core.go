@@ -19,6 +19,18 @@ type Core struct {
 	// outstanding holds readyAt cycles of in-flight prefetch fills; its
 	// live entries (readyAt > clock) occupy MSHRs.
 	outstanding []uint64
+	// minReady is the earliest readyAt in outstanding; while the clock
+	// is below it no entry can have expired, so the occupancy check is
+	// a comparison instead of a compaction scan.
+	minReady uint64
+
+	// switchInsts is SwitchCost*IssueWidth/2, precomputed so TaskSwitch
+	// avoids the multiply on the scheduler's hottest edge.
+	switchInsts uint64
+	// issueShift is log2(IssueWidth) when the width is a power of two
+	// (issuePow2), letting Compute replace its division with a shift.
+	issueShift uint
+	issuePow2  bool
 }
 
 // NewCore builds a core from cfg, validating it first.
@@ -26,13 +38,21 @@ func NewCore(cfg Config) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: invalid config: %w", err)
 	}
-	return &Core{
+	c := &Core{
 		cfg:         cfg,
 		l1:          newCache(cfg.L1),
 		l2:          newCache(cfg.L2),
 		llc:         newCache(cfg.LLC),
 		outstanding: make([]uint64, 0, cfg.MSHRs),
-	}, nil
+		switchInsts: cfg.SwitchCost * cfg.IssueWidth / 2,
+	}
+	if w := cfg.IssueWidth; w&(w-1) == 0 {
+		c.issuePow2 = true
+		for 1<<c.issueShift < w {
+			c.issueShift++
+		}
+	}
+	return c, nil
 }
 
 // Config returns the configuration the core was built with.
@@ -61,6 +81,7 @@ func (c *Core) Reset() {
 	c.l2.invalidateAll()
 	c.llc.invalidateAll()
 	c.outstanding = c.outstanding[:0]
+	c.minReady = 0
 }
 
 // Compute charges insts simulated instructions of pure computation.
@@ -69,7 +90,11 @@ func (c *Core) Compute(insts uint64) {
 		return
 	}
 	c.ctr.Instructions += insts
-	c.clock += (insts + c.cfg.IssueWidth - 1) / c.cfg.IssueWidth
+	if c.issuePow2 {
+		c.clock += (insts + c.cfg.IssueWidth - 1) >> c.issueShift
+	} else {
+		c.clock += (insts + c.cfg.IssueWidth - 1) / c.cfg.IssueWidth
+	}
 }
 
 // Stall advances the clock by cycles without retiring instructions; used
@@ -83,7 +108,7 @@ func (c *Core) Stall(cycles uint64) {
 func (c *Core) TaskSwitch() {
 	c.ctr.TaskSwitches++
 	c.clock += c.cfg.SwitchCost
-	c.ctr.Instructions += c.cfg.SwitchCost * c.cfg.IssueWidth / 2
+	c.ctr.Instructions += c.switchInsts
 }
 
 // Read charges a demand read of size bytes at addr.
@@ -99,21 +124,28 @@ func (c *Core) Write(addr, size uint64) {
 
 // burst touches every line in [addr, addr+size) as one demand burst:
 // the first missing line pays full latency, subsequent missing lines in
-// the same burst pay BurstGap (overlapped fills).
+// the same burst pay BurstGap (overlapped fills). Per-line counter
+// bumps are hoisted out of the loop (the final totals are identical),
+// and the dominant single-line case (spans <= 64 B) skips the loop.
 func (c *Core) burst(addr, size uint64, write bool) {
 	if size == 0 {
 		return
 	}
 	first := addr >> lineShift
 	last := (addr + size - 1) >> lineShift
+	lines := last - first + 1
+	if write {
+		c.ctr.Writes += lines
+	} else {
+		c.ctr.Reads += lines
+	}
+	c.ctr.Instructions += lines
+	if first == last {
+		c.access(first, false)
+		return
+	}
 	missed := false
 	for line := first; line <= last; line++ {
-		if write {
-			c.ctr.Writes++
-		} else {
-			c.ctr.Reads++
-		}
-		c.ctr.Instructions++
 		if c.access(line, missed) {
 			missed = true
 		}
@@ -123,36 +155,41 @@ func (c *Core) burst(addr, size uint64, write bool) {
 // access charges one demand line access. overlapped marks that an earlier
 // line in the same burst already paid a full miss. It reports whether
 // this access missed L1 entirely (i.e. was not an L1 or in-flight hit).
+//
+// Each level is probed exactly once: the probe that misses also yields
+// the install victim, which stays valid because nothing touches that
+// set again before the install (only outer levels and the clock move).
 func (c *Core) access(line uint64, overlapped bool) bool {
-	if slot := c.l1.lookup(line); slot >= 0 {
+	slot, v1 := c.l1.probe(line)
+	if slot >= 0 {
 		c.demandHitL1(slot)
 		return false
 	}
 	c.ctr.L1Misses++
 	var lat uint64
-	if slot := c.l2.lookup(line); slot >= 0 {
+	if slot, v2 := c.l2.probe(line); slot >= 0 {
 		c.ctr.L2Hits++
 		lat = c.waitReady(c.l2, slot, c.cfg.L2.HitLatency)
 		c.l2.touch(slot, c.clock)
 	} else {
 		c.ctr.L2Misses++
-		if slot := c.llc.lookup(line); slot >= 0 {
+		if slot, v3 := c.llc.probe(line); slot >= 0 {
 			c.ctr.LLCHits++
 			lat = c.waitReady(c.llc, slot, c.cfg.LLC.HitLatency)
 			c.llc.touch(slot, c.clock)
 		} else {
 			c.ctr.LLCMisses++
 			lat = c.cfg.DRAMLatency
-			c.llc.install(line, c.clock, c.clock)
+			c.llc.installAt(v3, line, c.clock, c.clock)
 		}
-		c.l2.install(line, c.clock, c.clock)
+		c.l2.installAt(v2, line, c.clock, c.clock)
 	}
 	if overlapped && lat > c.cfg.BurstGap {
 		lat = c.cfg.BurstGap
 	}
 	c.clock += lat
 	c.ctr.StallCycles += lat
-	c.l1.install(line, c.clock, c.clock)
+	c.l1.installAt(v1, line, c.clock, c.clock)
 	return true
 }
 
@@ -160,25 +197,26 @@ func (c *Core) access(line uint64, overlapped bool) bool {
 func (c *Core) demandHitL1(slot int) {
 	c.ctr.L1Hits++
 	lat := c.cfg.L1.HitLatency
-	if ready := c.l1.readyAt[slot]; ready > c.clock {
-		stall := ready - c.clock
+	f := &c.l1.fill[slot]
+	if f.readyAt > c.clock {
+		stall := f.readyAt - c.clock
 		c.clock += stall
 		c.ctr.StallCycles += stall
 		c.ctr.PrefetchLate++
-		c.l1.prefetched[slot] = false
-	} else if c.l1.prefetched[slot] {
+		f.prefetched = false
+	} else if f.prefetched {
 		c.ctr.PrefetchUseful++
-		c.l1.prefetched[slot] = false
+		f.prefetched = false
 	}
 	c.clock += lat
-	c.l1.touch(slot, c.clock)
+	c.l1.stamps[slot] = c.clock
 }
 
 // waitReady stalls until an outer-level slot's fill completes, then
 // charges that level's hit latency; returns the total charged cycles
 // minus the stall (stall is applied immediately).
 func (c *Core) waitReady(lvl *cache, slot int, hitLat uint64) uint64 {
-	if ready := lvl.readyAt[slot]; ready > c.clock {
+	if ready := lvl.fill[slot].readyAt; ready > c.clock {
 		stall := ready - c.clock
 		c.clock += stall
 		c.ctr.StallCycles += stall
@@ -196,6 +234,10 @@ func (c *Core) Prefetch(addr, size uint64) {
 	}
 	first := addr >> lineShift
 	last := (addr + size - 1) >> lineShift
+	if first == last {
+		c.prefetchLine(first)
+		return
+	}
 	for line := first; line <= last; line++ {
 		c.prefetchLine(line)
 	}
@@ -204,7 +246,8 @@ func (c *Core) Prefetch(addr, size uint64) {
 func (c *Core) prefetchLine(line uint64) {
 	c.clock += c.cfg.PrefetchIssueCost
 	c.ctr.Instructions++
-	if c.l1.resident(line) {
+	s1, v1 := c.l1.probe(line)
+	if s1 >= 0 {
 		c.ctr.PrefetchRedundant++
 		return
 	}
@@ -212,35 +255,53 @@ func (c *Core) prefetchLine(line uint64) {
 		c.ctr.PrefetchDropped++
 		return
 	}
-	// Fill latency depends on where the line currently lives.
+	// Fill latency depends on where the line currently lives. The miss
+	// probes double as victim finders for the installs below; the sets
+	// are untouched in between, so the victims stay valid.
 	var fill uint64
-	switch {
-	case c.l2.resident(line):
+	s2, v2 := c.l2.probe(line)
+	if s2 >= 0 {
 		fill = c.cfg.L2.HitLatency
-	case c.llc.resident(line):
+	} else if s3, v3 := c.llc.probe(line); s3 >= 0 {
 		fill = c.cfg.LLC.HitLatency
-	default:
+	} else {
 		fill = c.cfg.DRAMLatency
-		c.llc.install(line, c.clock, c.clock+fill)
-		c.l2.install(line, c.clock, c.clock+fill)
+		c.llc.installAt(v3, line, c.clock, c.clock+fill)
+		c.l2.installAt(v2, line, c.clock, c.clock+fill)
 	}
 	ready := c.clock + fill
-	slot := c.l1.install(line, c.clock, ready)
-	c.l1.prefetched[slot] = true
+	c.l1.installAt(v1, line, c.clock, ready)
+	c.l1.fill[v1].prefetched = true
+	if len(c.outstanding) == 0 || ready < c.minReady {
+		c.minReady = ready
+	}
 	c.outstanding = append(c.outstanding, ready)
 	c.ctr.PrefetchIssued++
 }
 
-// activeMSHRs compacts the outstanding list and returns the number of
-// fills still in flight at the current clock.
+// activeMSHRs returns the number of fills still in flight at the
+// current clock. The outstanding list is compacted lazily: while the
+// clock has not reached the earliest completion (minReady), every entry
+// is still live and the check is a single comparison.
 func (c *Core) activeMSHRs() int {
+	if len(c.outstanding) == 0 {
+		return 0
+	}
+	if c.clock < c.minReady {
+		return len(c.outstanding)
+	}
 	live := c.outstanding[:0]
+	next := ^uint64(0)
 	for _, ready := range c.outstanding {
 		if ready > c.clock {
 			live = append(live, ready)
+			if ready < next {
+				next = ready
+			}
 		}
 	}
 	c.outstanding = live
+	c.minReady = next
 	return len(live)
 }
 
@@ -255,8 +316,8 @@ func (c *Core) DMAFill(addr, size uint64) {
 	first := addr >> lineShift
 	last := (addr + size - 1) >> lineShift
 	for line := first; line <= last; line++ {
-		if !c.llc.resident(line) {
-			c.llc.install(line, c.clock, c.clock)
+		if slot, victim := c.llc.probe(line); slot < 0 {
+			c.llc.installAt(victim, line, c.clock, c.clock)
 		}
 	}
 }
@@ -270,6 +331,9 @@ func (c *Core) ResidentL1(addr, size uint64) bool {
 	}
 	first := addr >> lineShift
 	last := (addr + size - 1) >> lineShift
+	if first == last {
+		return c.l1.resident(first)
+	}
 	for line := first; line <= last; line++ {
 		if !c.l1.resident(line) {
 			return false

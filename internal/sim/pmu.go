@@ -58,6 +58,30 @@ func (c Counters) Sub(o Counters) Counters {
 	}
 }
 
+// Add returns the element-wise sum c + o, for aggregating counter
+// blocks across cores or runs.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Cycles:            c.Cycles + o.Cycles,
+		Instructions:      c.Instructions + o.Instructions,
+		Reads:             c.Reads + o.Reads,
+		Writes:            c.Writes + o.Writes,
+		L1Hits:            c.L1Hits + o.L1Hits,
+		L1Misses:          c.L1Misses + o.L1Misses,
+		L2Hits:            c.L2Hits + o.L2Hits,
+		L2Misses:          c.L2Misses + o.L2Misses,
+		LLCHits:           c.LLCHits + o.LLCHits,
+		LLCMisses:         c.LLCMisses + o.LLCMisses,
+		PrefetchIssued:    c.PrefetchIssued + o.PrefetchIssued,
+		PrefetchDropped:   c.PrefetchDropped + o.PrefetchDropped,
+		PrefetchRedundant: c.PrefetchRedundant + o.PrefetchRedundant,
+		PrefetchUseful:    c.PrefetchUseful + o.PrefetchUseful,
+		PrefetchLate:      c.PrefetchLate + o.PrefetchLate,
+		StallCycles:       c.StallCycles + o.StallCycles,
+		TaskSwitches:      c.TaskSwitches + o.TaskSwitches,
+	}
+}
+
 // IPC returns instructions per cycle, the efficiency metric of the
 // paper's Figures 10(d) and 13(c).
 func (c Counters) IPC() float64 {
