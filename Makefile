@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench-smoke quick
+.PHONY: build test verify bench-smoke quick trace-demo
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,10 @@ bench:
 # quick regenerates every figure with reduced populations.
 quick:
 	$(GO) run ./cmd/gunfu-bench -exp all -quick -parallel 4
+
+# trace-demo smoke-tests the trace exporter end to end: a small traced
+# NAT run producing attribution tables plus a Chrome trace JSON to load
+# in ui.perfetto.dev (see EXPERIMENTS.md).
+trace-demo:
+	$(GO) run ./cmd/gunfu-bench -trace trace_demo.json -attr \
+		-nf nat -flows 4096 -packets 8000 -warmup 2000 -tasks 16

@@ -9,6 +9,17 @@
 //	gunfu-bench -exp fig10 -quick   # reduced populations for a fast run
 //	gunfu-bench -exp all -parallel 8  # figures + sweep points on 8 workers
 //
+// Profile mode observes a single NF run instead of regenerating
+// figures. -trace writes a Chrome trace-event JSON (load it in
+// ui.perfetto.dev: one track per interleaved NFTask slot, stalls
+// nested in action slices, prefetch fills on their own tracks); -attr
+// prints per-NFAction / per-NFState attribution tables and per-packet
+// latency quantiles. Warmup runs untraced; only the measured window is
+// observed.
+//
+//	gunfu-bench -trace trace.json -nf nat -flows 32768 -tasks 16
+//	gunfu-bench -attr -nf sfc -sfc-length 4 -flows 8192 -tasks 16
+//
 // Tables are byte-identical for any -parallel value: sweep points are
 // share-nothing simulations, rows are emitted in sweep order, and
 // concurrently-run figures render into buffers flushed in selection
@@ -27,6 +38,7 @@ import (
 	"time"
 
 	gunfu "github.com/gunfu-nfv/gunfu"
+	"github.com/gunfu-nfv/gunfu/internal/director"
 )
 
 func main() {
@@ -39,7 +51,36 @@ func run() int {
 	seed := flag.Int64("seed", 42, "workload seed")
 	parallel := flag.Int("parallel", 1, "concurrent sweep points per experiment (<=1 = sequential)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+
+	// Profile mode.
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of one observed run to this path")
+	attr := flag.Bool("attr", false, "print per-NFAction/per-NFState attribution and latency quantiles for one observed run")
+	nfName := flag.String("nf", "nat", "profile mode: NF to run (a deployable registry name)")
+	flows := flag.Int("flows", 32768, "profile mode: concurrent flow population")
+	packets := flag.Uint64("packets", 20000, "profile mode: measured window (packets)")
+	warmup := flag.Uint64("warmup", 5000, "profile mode: untraced warmup packets")
+	packetBytes := flag.Int("packet-bytes", 64, "profile mode: workload packet size")
+	tasks := flag.Int("tasks", 16, "profile mode: max interleaved NFTasks (0 = RTC baseline)")
+	sfcLength := flag.Int("sfc-length", 0, "profile mode: chain length for -nf sfc")
+	pdrs := flag.Int("pdrs", 0, "profile mode: rules per session for -nf upf-downlink")
 	flag.Parse()
+
+	if *tracePath != "" || *attr {
+		p := profileSpec{
+			tracePath: *tracePath,
+			attr:      *attr,
+			spec: director.DeploySpec{
+				NF: *nfName, Flows: *flows, Packets: *packets, Warmup: *warmup,
+				PacketBytes: *packetBytes, Tasks: *tasks, Seed: *seed,
+				SFCLength: *sfcLength, PDRs: *pdrs,
+			},
+		}
+		if err := profile(p, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *list {
 		for _, n := range gunfu.ExperimentNames() {

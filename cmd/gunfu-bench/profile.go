@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/gunfu-nfv/gunfu/internal/director"
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/obs"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/rtc"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+// profileSpec selects the workload for a -trace/-attr profile run. It
+// reuses the deployable registry so the profiled NFs are exactly the
+// control plane's.
+type profileSpec struct {
+	tracePath string // Chrome trace JSON output ("" = off)
+	attr      bool   // print attribution tables
+	spec      director.DeploySpec
+}
+
+// profile executes one observed run: warmup untraced, then the
+// measured window with the requested tracers attached. The attribution
+// tables go to out; the Chrome trace to tracePath.
+func profile(p profileSpec, out io.Writer) error {
+	factory, ok := director.DefaultRegistry()[p.spec.NF]
+	if !ok {
+		return fmt.Errorf("unknown NF %q", p.spec.NF)
+	}
+	if err := p.spec.Validate(); err != nil {
+		return err
+	}
+	as := mem.NewAddressSpace()
+	prog, src, err := factory(as, p.spec)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	core, err := sim.NewCore(cfg)
+	if err != nil {
+		return err
+	}
+	var run func(n uint64) (rt.Result, error)
+	if p.spec.Tasks > 0 {
+		rcfg := rt.DefaultConfig()
+		rcfg.Tasks = p.spec.Tasks
+		w, err := rt.NewWorker(core, as, prog, rcfg)
+		if err != nil {
+			return err
+		}
+		run = func(n uint64) (rt.Result, error) { return w.Run(src, n) }
+	} else {
+		w, err := rtc.NewWorker(core, as, prog, rtc.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		run = func(n uint64) (rt.Result, error) { return w.Run(src, n) }
+	}
+
+	if p.spec.Warmup > 0 {
+		if _, err := run(p.spec.Warmup); err != nil {
+			return err
+		}
+	}
+
+	// Attach observation only for the measured window, so warmup noise
+	// (cold caches, first-touch misses) stays out of the profile.
+	var col *obs.Collector
+	var tw *obs.TraceWriter
+	if p.attr {
+		col = obs.NewCollector(prog, cfg.FreqHz)
+	}
+	if p.tracePath != "" {
+		tw = obs.NewTraceWriter(prog, cfg.FreqHz)
+	}
+	core.SetTracer(obs.Multi(col, tw))
+	res, err := run(p.spec.Packets)
+	if err != nil {
+		return err
+	}
+	core.SetTracer(nil)
+
+	fmt.Fprintf(out, "profiled %s: %d packets, %.2f Gbps, %s\n\n",
+		p.spec.NF, res.Packets, res.Gbps(), res.Counters.String())
+	if col != nil {
+		for _, t := range col.Tables() {
+			if err := t.Render(out); err != nil {
+				return err
+			}
+		}
+	}
+	if tw != nil {
+		f, err := os.Create(p.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tw.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d trace events to %s (open in ui.perfetto.dev)\n", tw.Len(), p.tracePath)
+	}
+	return nil
+}

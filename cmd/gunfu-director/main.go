@@ -7,12 +7,17 @@
 //
 //	gunfu-director -listen 127.0.0.1:7700 -agents 4 \
 //	    -nf sfc -sfc-length 6 -flows 32768 -packets 200000 -tasks 16
+//
+// With -stats-every the agents stream windowed telemetry heartbeats
+// while they run, rendered as a per-agent table; -live redraws it in
+// place (ANSI), otherwise each refresh appends below the last.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/gunfu-nfv/gunfu/internal/director"
@@ -36,7 +41,16 @@ func run() int {
 	seed := flag.Int64("seed", 42, "workload seed")
 	wait := flag.Duration("wait", 30*time.Second, "agent registration timeout")
 	deployTO := flag.Duration("deploy-timeout", 10*time.Minute, "per-deployment timeout")
+	statsEvery := flag.Uint64("stats-every", 0, "stream a telemetry heartbeat every N packets (0 = off)")
+	live := flag.Bool("live", false, "redraw the telemetry table in place (implies -stats-every)")
 	flag.Parse()
+
+	if *live && *statsEvery == 0 {
+		*statsEvery = *packets / 20
+		if *statsEvery == 0 {
+			*statsEvery = 1
+		}
+	}
 
 	d := director.New()
 	addr, err := d.Listen(*listen)
@@ -45,6 +59,22 @@ func run() int {
 		return 1
 	}
 	defer d.Close()
+
+	if *statsEvery > 0 {
+		mon := director.NewMonitor()
+		var mu sync.Mutex
+		d.SetStatsHandler(func(r director.StatsReport) {
+			mu.Lock()
+			defer mu.Unlock()
+			mon.Observe(r)
+			if *live {
+				// Home the cursor and clear below before redrawing.
+				fmt.Print("\033[H\033[2J")
+			}
+			_ = mon.Table().Render(os.Stdout)
+		})
+	}
+
 	fmt.Printf("director listening on %s; waiting for %d agent(s)\n", addr, *agents)
 	if err := d.WaitAgents(*agents, *wait); err != nil {
 		fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", err)
@@ -61,6 +91,7 @@ func run() int {
 		Seed:        *seed,
 		SFCLength:   *sfcLength,
 		PDRs:        *pdrs,
+		StatsEvery:  *statsEvery,
 	}
 	fmt.Printf("deploying %s to %d agent(s): flows=%d packets=%d tasks=%d\n",
 		depl.NF, *agents, depl.Flows, depl.Packets, depl.Tasks)

@@ -5,11 +5,18 @@
 // Usage:
 //
 //	gunfu-worker -connect 127.0.0.1:7700 -name worker-1
+//
+// With -expvar the agent also serves Go's expvar JSON on
+// http://<addr>/debug/vars, publishing the running deployment's
+// telemetry (windows seen, packets processed, last window's rates) for
+// scraping alongside the director's live view.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"github.com/gunfu-nfv/gunfu/internal/director"
@@ -22,6 +29,7 @@ func main() {
 func run() int {
 	connect := flag.String("connect", "127.0.0.1:7700", "director address")
 	name := flag.String("name", "", "agent name (required)")
+	expvarAddr := flag.String("expvar", "", "serve expvar telemetry on this HTTP address (e.g. 127.0.0.1:8080)")
 	flag.Parse()
 
 	if *name == "" {
@@ -33,6 +41,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "gunfu-worker: %v\n", err)
 		return 1
 	}
+	if *expvarAddr != "" {
+		a.OnStats = publishExpvar()
+		go func() {
+			// expvar registers /debug/vars on the default mux at init.
+			if err := http.ListenAndServe(*expvarAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "gunfu-worker: expvar: %v\n", err)
+			}
+		}()
+		fmt.Printf("agent %s serving expvar on http://%s/debug/vars\n", *name, *expvarAddr)
+	}
 	fmt.Printf("agent %s connecting to %s\n", *name, *connect)
 	if err := a.Run(*connect); err != nil {
 		fmt.Fprintf(os.Stderr, "gunfu-worker: %v\n", err)
@@ -40,4 +58,28 @@ func run() int {
 	}
 	fmt.Printf("agent %s shut down\n", *name)
 	return 0
+}
+
+// publishExpvar returns an OnStats hook feeding the process-wide
+// expvar variables. Heartbeats arrive on the single agent goroutine,
+// so plain expvar setters are enough.
+func publishExpvar() func(director.StatsReport) {
+	var (
+		windows = expvar.NewInt("gunfu.windows")
+		packets = expvar.NewInt("gunfu.packets_total")
+		nf      = expvar.NewString("gunfu.nf")
+		mpps    = expvar.NewFloat("gunfu.last_mpps")
+		gbps    = expvar.NewFloat("gunfu.last_gbps")
+		ipc     = expvar.NewFloat("gunfu.last_ipc")
+		stall   = expvar.NewFloat("gunfu.last_stall_fraction")
+	)
+	return func(r director.StatsReport) {
+		windows.Add(1)
+		packets.Add(int64(r.Packets))
+		nf.Set(r.NF)
+		mpps.Set(r.Mpps())
+		gbps.Set(r.Gbps())
+		ipc.Set(r.Counters.IPC())
+		stall.Set(r.Counters.StallFraction())
+	}
 }

@@ -43,6 +43,7 @@ import (
 	"github.com/gunfu-nfv/gunfu/internal/nf/monitor"
 	"github.com/gunfu-nfv/gunfu/internal/nf/nat"
 	"github.com/gunfu-nfv/gunfu/internal/nf/upf"
+	"github.com/gunfu-nfv/gunfu/internal/obs"
 	"github.com/gunfu-nfv/gunfu/internal/pkt"
 	"github.com/gunfu-nfv/gunfu/internal/rt"
 	"github.com/gunfu-nfv/gunfu/internal/rtc"
@@ -314,3 +315,37 @@ func RunExperiment(name string, opts ExpOptions) ([]*ResultTable, error) {
 
 // ExperimentNames lists the available experiment ids.
 func ExperimentNames() []string { return exp.Names() }
+
+// Observability (see internal/obs): tracing is observation-only — a
+// traced run's counters are byte-identical to an untraced run's — and
+// the disabled hook costs one nil check with zero allocations.
+type (
+	// Tracer receives the simulated core's event stream
+	// (Core.SetTracer).
+	Tracer = sim.Tracer
+	// TraceEvent is one cycle-stamped simulation event.
+	TraceEvent = sim.TraceEvent
+	// ObsCollector folds the event stream into per-NFAction /
+	// per-NFState attribution tables and latency quantiles.
+	ObsCollector = obs.Collector
+	// ObsTraceWriter exports the event stream as Chrome trace-event
+	// JSON for ui.perfetto.dev.
+	ObsTraceWriter = obs.TraceWriter
+	// LatencyHistogram is the log-bucketed quantile histogram behind
+	// the latency tables.
+	LatencyHistogram = stats.Histogram
+)
+
+// NewObsCollector builds an attribution collector for prog at freqHz.
+func NewObsCollector(prog *Program, freqHz float64) *ObsCollector {
+	return obs.NewCollector(prog, freqHz)
+}
+
+// NewObsTraceWriter builds a Chrome trace exporter for prog at freqHz.
+func NewObsTraceWriter(prog *Program, freqHz float64) *ObsTraceWriter {
+	return obs.NewTraceWriter(prog, freqHz)
+}
+
+// MultiTracer fans one event stream out to several tracers (nils are
+// dropped; an all-nil call returns nil, keeping the fast path).
+func MultiTracer(tracers ...Tracer) Tracer { return obs.Multi(tracers...) }

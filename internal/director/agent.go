@@ -150,6 +150,10 @@ type Agent struct {
 	reg  Registry
 	// SimConfig is the core configuration deployments run on.
 	SimConfig sim.Config
+	// OnStats, when set, observes every heartbeat this agent emits
+	// (StatsEvery deployments only), before it goes on the wire. Local
+	// exporters — the worker's expvar endpoint — hang off this hook.
+	OnStats func(StatsReport)
 }
 
 // NewAgent builds an agent with the given deployable registry.
@@ -186,7 +190,7 @@ func (a *Agent) Run(addr string) error {
 		case TypeShutdown:
 			return nil
 		case TypeDeploy:
-			reply := a.execute(env)
+			reply := a.execute(env, func(hb Envelope) error { return enc.Encode(hb) })
 			if err := enc.Encode(reply); err != nil {
 				return fmt.Errorf("director: agent %s: reply: %w", a.name, err)
 			}
@@ -195,8 +199,9 @@ func (a *Agent) Run(addr string) error {
 	return nil // director closed the connection
 }
 
-// execute runs one deployment and builds the reply envelope.
-func (a *Agent) execute(env Envelope) Envelope {
+// execute runs one deployment and builds the reply envelope. send, when
+// non-nil, carries mid-run TypeStats heartbeats back to the director.
+func (a *Agent) execute(env Envelope, send func(Envelope) error) Envelope {
 	fail := func(err error) Envelope {
 		return Envelope{Type: TypeError, Seq: env.Seq, Agent: a.name, Error: err.Error()}
 	}
@@ -221,7 +226,9 @@ func (a *Agent) execute(env Envelope) Envelope {
 		return fail(err)
 	}
 
-	var res rt.Result
+	// Both runtimes expose the same windowed Run contract, so the
+	// chunked telemetry loop below is runtime-agnostic.
+	var run func(n uint64) (rt.Result, error)
 	if d.Tasks > 0 {
 		cfg := rt.DefaultConfig()
 		cfg.Tasks = d.Tasks
@@ -229,27 +236,23 @@ func (a *Agent) execute(env Envelope) Envelope {
 		if err != nil {
 			return fail(err)
 		}
-		if d.Warmup > 0 {
-			if _, err := w.Run(src, d.Warmup); err != nil {
-				return fail(err)
-			}
-		}
-		if res, err = w.Run(src, d.Packets); err != nil {
-			return fail(err)
-		}
+		run = func(n uint64) (rt.Result, error) { return w.Run(src, n) }
 	} else {
 		w, err := rtc.NewWorker(core, as, prog, rtc.DefaultConfig())
 		if err != nil {
 			return fail(err)
 		}
-		if d.Warmup > 0 {
-			if _, err := w.Run(src, d.Warmup); err != nil {
-				return fail(err)
-			}
-		}
-		if res, err = w.Run(src, d.Packets); err != nil {
+		run = func(n uint64) (rt.Result, error) { return w.Run(src, n) }
+	}
+
+	if d.Warmup > 0 {
+		if _, err := run(d.Warmup); err != nil {
 			return fail(err)
 		}
+	}
+	res, err := a.measure(d, env.Seq, run, send)
+	if err != nil {
+		return fail(err)
 	}
 
 	return Envelope{
@@ -263,4 +266,47 @@ func (a *Agent) execute(env Envelope) Envelope {
 			Counters: res.Counters,
 		},
 	}
+}
+
+// measure runs the measured window, either in one piece or — when the
+// spec asks for telemetry — in StatsEvery-packet chunks with a
+// heartbeat after each. The returned result totals the whole window.
+func (a *Agent) measure(d DeploySpec, seq int, run func(uint64) (rt.Result, error), send func(Envelope) error) (rt.Result, error) {
+	if d.StatsEvery == 0 {
+		return run(d.Packets)
+	}
+	var total rt.Result
+	for window, remaining := 0, d.Packets; remaining > 0; window++ {
+		n := d.StatsEvery
+		if n > remaining {
+			n = remaining
+		}
+		r, err := run(n)
+		if err != nil {
+			return rt.Result{}, err
+		}
+		total.Packets += r.Packets
+		total.Bits += r.Bits
+		total.Cycles += r.Cycles
+		total.FreqHz = r.FreqHz
+		total.Counters = total.Counters.Add(r.Counters)
+		rep := StatsReport{
+			Agent: a.name, NF: d.NF, Window: window,
+			Packets: r.Packets, Bits: r.Bits,
+			Cycles: r.Cycles, FreqHz: r.FreqHz, Counters: r.Counters,
+		}
+		if a.OnStats != nil {
+			a.OnStats(rep)
+		}
+		if send != nil {
+			if err := send(Envelope{Type: TypeStats, Seq: seq, Agent: a.name, Stats: &rep}); err != nil {
+				return rt.Result{}, err
+			}
+		}
+		if r.Packets < n {
+			break // source drained early
+		}
+		remaining -= n
+	}
+	return total, nil
 }

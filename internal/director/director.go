@@ -20,6 +20,8 @@ type Director struct {
 	closed bool
 	// arrival signals agent registration to waiters.
 	arrival chan struct{}
+	// onStats receives unsolicited TypeStats heartbeats.
+	onStats func(StatsReport)
 
 	wg sync.WaitGroup
 }
@@ -104,16 +106,36 @@ func (d *Director) serveConn(conn net.Conn) {
 		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
 			continue
 		}
+		if env.Type == TypeStats {
+			if env.Stats != nil {
+				d.mu.Lock()
+				handler := d.onStats
+				d.mu.Unlock()
+				if handler != nil {
+					handler(*env.Stats)
+				}
+			}
+			continue // heartbeats never wake a Deploy waiter
+		}
 		select {
 		case ac.pending <- env:
 		default:
-			// No waiter; drop (unsolicited stats could be handled here).
+			// No waiter; drop.
 		}
 	}
 	d.mu.Lock()
 	delete(d.agents, reg.Agent)
 	d.mu.Unlock()
 	_ = conn.Close()
+}
+
+// SetStatsHandler registers fn to receive every TypeStats heartbeat
+// from every agent. fn runs on the per-connection reader goroutine, so
+// it must return promptly; nil detaches.
+func (d *Director) SetStatsHandler(fn func(StatsReport)) {
+	d.mu.Lock()
+	d.onStats = fn
+	d.mu.Unlock()
 }
 
 // Agents returns the names of currently registered agents.

@@ -123,6 +123,109 @@ func TestDeployUPF(t *testing.T) {
 	}
 }
 
+// TestDeployHeartbeats runs a deployment with StatsEvery set and
+// checks the streamed telemetry end to end: the director's handler and
+// the agent's local OnStats hook both see every window, and the window
+// deltas sum exactly to the final result.
+func TestDeployHeartbeats(t *testing.T) {
+	d := New()
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var received []StatsReport
+	mon := NewMonitor()
+	d.SetStatsHandler(func(r StatsReport) {
+		mu.Lock()
+		received = append(received, r)
+		mu.Unlock()
+		mon.Observe(r)
+	})
+
+	a, err := NewAgent("w-hb", DefaultRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local int
+	a.OnStats = func(StatsReport) { // runs on the agent goroutine
+		mu.Lock()
+		local++
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Run returns when the director closes the connection.
+		_ = a.Run(addr)
+	}()
+	defer func() {
+		_ = d.Close()
+		wg.Wait()
+	}()
+	if err := d.WaitAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := d.Deploy("w-hb", DeploySpec{
+		NF: "nat", Flows: 1024, Packets: 4000, Warmup: 500,
+		PacketBytes: 64, Tasks: 8, Seed: 5, StatsEvery: 1000,
+	}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The result arrives on the same ordered connection after the last
+	// heartbeat, and the handler runs synchronously on the reader
+	// goroutine, so every report is visible by now.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(received) != 4 {
+		t.Fatalf("heartbeats = %d, want 4", len(received))
+	}
+	var pkts, cycles, stall uint64
+	var bits float64
+	for i, r := range received {
+		if r.Window != i || r.Agent != "w-hb" || r.NF != "nat" {
+			t.Fatalf("report %d = %+v", i, r)
+		}
+		if r.Packets != 1000 {
+			t.Fatalf("window %d packets = %d", i, r.Packets)
+		}
+		pkts += r.Packets
+		bits += r.Bits
+		cycles += r.Cycles
+		stall += r.Counters.StallCycles
+	}
+	if pkts != res.Packets || bits != res.Bits || cycles != res.Cycles || stall != res.Counters.StallCycles {
+		t.Fatalf("window sums pkts/bits/cycles/stall = %d/%v/%d/%d, result %d/%v/%d/%d",
+			pkts, bits, cycles, stall, res.Packets, res.Bits, res.Cycles, res.Counters.StallCycles)
+	}
+
+	if mon.Windows() != 4 {
+		t.Fatalf("monitor windows = %d", mon.Windows())
+	}
+	tab := mon.Table()
+	if tab.NumRows() != 1 {
+		t.Fatalf("monitor rows = %d", tab.NumRows())
+	}
+	col, err := tab.ColumnIndex("total pkts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total, err := tab.CellFloat(0, col); err != nil || total != 4000 {
+		t.Fatalf("monitor total pkts = %v (%v)", total, err)
+	}
+
+	// The deployment has completed, so the agent-side hook has fired for
+	// every window (it runs before each heartbeat hits the wire).
+	if local != 4 {
+		t.Fatalf("agent OnStats calls = %d", local)
+	}
+}
+
 func TestDeployErrors(t *testing.T) {
 	d, stop := startCluster(t, 1)
 	defer stop()

@@ -31,6 +31,9 @@ const (
 	TypeError = "error"
 	// TypeShutdown asks the agent to exit (director → agent).
 	TypeShutdown = "shutdown"
+	// TypeStats is an unsolicited mid-deployment telemetry heartbeat
+	// (agent → director); see DeploySpec.StatsEvery.
+	TypeStats = "stats"
 )
 
 // DeploySpec describes one NF deployment: which registered NF to run
@@ -55,6 +58,11 @@ type DeploySpec struct {
 	SFCLength int `json:"sfc_length,omitempty"`
 	// PDRs selects rules per session for the "upf-downlink" NF.
 	PDRs int `json:"pdrs,omitempty"`
+	// StatsEvery, when positive, splits the measured window into chunks
+	// of this many packets and streams a TypeStats heartbeat after each
+	// chunk while the deployment runs. The final TypeResult still
+	// carries the whole window's totals.
+	StatsEvery uint64 `json:"stats_every,omitempty"`
 }
 
 // Validate checks the spec's common fields.
@@ -93,6 +101,42 @@ func (r Result) Gbps() float64 {
 	return r.Bits / (float64(r.Cycles) / r.FreqHz) / 1e9
 }
 
+// StatsReport is one telemetry heartbeat: the windowed delta of a
+// running deployment (not a cumulative total), so rates derived from
+// it describe the most recent chunk only.
+type StatsReport struct {
+	// Agent is the reporting agent's name.
+	Agent string `json:"agent"`
+	// NF is the deployed network function.
+	NF string `json:"nf"`
+	// Window is the chunk index within the deployment, from 0.
+	Window int `json:"window"`
+	// Packets and Bits are the chunk's processed volume.
+	Packets uint64  `json:"packets"`
+	Bits    float64 `json:"bits"`
+	// Cycles is the chunk's simulated span, FreqHz its clock.
+	Cycles uint64  `json:"cycles"`
+	FreqHz float64 `json:"freq_hz"`
+	// Counters is the chunk's PMU delta.
+	Counters sim.Counters `json:"counters"`
+}
+
+// Gbps returns the chunk's throughput in gigabits per simulated second.
+func (s StatsReport) Gbps() float64 {
+	if s.Cycles == 0 || s.FreqHz == 0 {
+		return 0
+	}
+	return s.Bits / (float64(s.Cycles) / s.FreqHz) / 1e9
+}
+
+// Mpps returns the chunk's rate in million packets per simulated second.
+func (s StatsReport) Mpps() float64 {
+	if s.Cycles == 0 || s.FreqHz == 0 {
+		return 0
+	}
+	return float64(s.Packets) / (float64(s.Cycles) / s.FreqHz) / 1e6
+}
+
 // Envelope is the wire message.
 type Envelope struct {
 	// Type discriminates the payload.
@@ -105,6 +149,8 @@ type Envelope struct {
 	Deploy *DeploySpec `json:"deploy,omitempty"`
 	// Result is set for TypeResult.
 	Result *Result `json:"result,omitempty"`
+	// Stats is set for TypeStats.
+	Stats *StatsReport `json:"stats,omitempty"`
 	// Error is set for TypeError.
 	Error string `json:"error,omitempty"`
 }

@@ -1,0 +1,182 @@
+package director
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	ctr := sim.Counters{Cycles: 123, Instructions: 456, L1Misses: 7, StallCycles: 89}
+	cases := []Envelope{
+		{Type: TypeRegister, Agent: "w1"},
+		{Type: TypeDeploy, Seq: 3, Deploy: &DeploySpec{
+			NF: "sfc", Flows: 1024, Packets: 5000, Warmup: 100, PacketBytes: 128,
+			Tasks: 16, Seed: 9, SFCLength: 5, PDRs: 8, StatsEvery: 500,
+		}},
+		{Type: TypeResult, Seq: 3, Agent: "w1", Result: &Result{
+			Agent: "w1", Packets: 5000, Bits: 2.56e6, Cycles: 1e6, FreqHz: 2.7e9, Counters: ctr,
+		}},
+		{Type: TypeStats, Seq: 3, Agent: "w1", Stats: &StatsReport{
+			Agent: "w1", NF: "sfc", Window: 2, Packets: 500, Bits: 2.56e5,
+			Cycles: 1e5, FreqHz: 2.7e9, Counters: ctr,
+		}},
+		{Type: TypeError, Seq: 4, Agent: "w1", Error: "unknown NF \"warp\""},
+		{Type: TypeShutdown},
+	}
+	for _, want := range cases {
+		b, err := encode(want)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Type, err)
+		}
+		if b[len(b)-1] != '\n' {
+			t.Fatalf("%s: encoded line not newline-terminated", want.Type)
+		}
+		var got Envelope
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("%s: %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round trip:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+}
+
+func TestStatsReportRates(t *testing.T) {
+	r := StatsReport{Packets: 1000, Bits: 512000, Cycles: 1000000, FreqHz: 1e9}
+	if g := r.Gbps(); g < 0.5119 || g > 0.5121 {
+		t.Fatalf("Gbps = %v", g)
+	}
+	if m := r.Mpps(); m < 0.99 || m > 1.01 {
+		t.Fatalf("Mpps = %v", m)
+	}
+	if (StatsReport{}).Gbps() != 0 || (StatsReport{}).Mpps() != 0 {
+		t.Fatal("zero report must rate 0")
+	}
+}
+
+// TestAgentSkipsMalformedAndUnknown drives a real Agent from a fake
+// director: garbage lines and unknown message types must be ignored,
+// and the agent must still serve the deploy that follows.
+func TestAgentSkipsMalformedAndUnknown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	a, err := NewAgent("w1", DefaultRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Run(ln.Addr().String()) }()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		t.Fatal("no registration")
+	}
+	var reg Envelope
+	if err := json.Unmarshal(sc.Bytes(), &reg); err != nil || reg.Type != TypeRegister || reg.Agent != "w1" {
+		t.Fatalf("bad registration %q: %v", sc.Text(), err)
+	}
+
+	lines := []string{
+		"{not json at all",             // malformed: skipped
+		`{"type":"telepathy","seq":1}`, // unknown type: skipped
+		`{"type":"deploy","seq":2,"deploy":{"nf":"nat","flows":64,"packets":200,"packet_bytes":64,"tasks":4}}`,
+	}
+	for _, l := range lines {
+		if _, err := conn.Write([]byte(l + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sc.Scan() {
+		t.Fatal("no reply to deploy")
+	}
+	var reply Envelope
+	if err := json.Unmarshal(sc.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeResult || reply.Seq != 2 || reply.Result == nil || reply.Result.Packets != 200 {
+		t.Fatalf("reply = %+v", reply)
+	}
+
+	// A deploy without a spec is the error path, not a dropped message.
+	if _, err := conn.Write([]byte(`{"type":"deploy","seq":3}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("no reply to bad deploy")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeError || reply.Seq != 3 || reply.Error == "" {
+		t.Fatalf("reply = %+v", reply)
+	}
+
+	if _, err := conn.Write([]byte(`{"type":"shutdown"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("agent exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not shut down")
+	}
+}
+
+// TestDeployUnexpectedReply covers the director's unknown-reply-type
+// error path with a fake agent that answers a deploy with nonsense.
+func TestDeployUnexpectedReply(t *testing.T) {
+	d := New()
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"type":"register","agent":"fake"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		sc := bufio.NewScanner(conn)
+		if !sc.Scan() {
+			return
+		}
+		var env Envelope
+		if json.Unmarshal(sc.Bytes(), &env) != nil {
+			return
+		}
+		resp, _ := encode(Envelope{Type: "telepathy", Seq: env.Seq})
+		_, _ = conn.Write(resp)
+	}()
+
+	_, err = d.Deploy("fake", DeploySpec{NF: "nat", Flows: 1, Packets: 1, PacketBytes: 64}, 5*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "unexpected reply") {
+		t.Fatalf("err = %v", err)
+	}
+}

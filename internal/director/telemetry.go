@@ -1,0 +1,75 @@
+package director
+
+import (
+	"sync"
+
+	"github.com/gunfu-nfv/gunfu/internal/stats"
+)
+
+// Monitor aggregates TypeStats heartbeats into a live per-agent view:
+// the latest window's rates plus running totals. Plug its Observe into
+// Director.SetStatsHandler and render Table whenever the display
+// refreshes. Monitor is safe for concurrent use (heartbeats arrive on
+// per-connection goroutines).
+type Monitor struct {
+	mu     sync.Mutex
+	order  []string
+	latest map[string]StatsReport
+	total  map[string]StatsReport
+}
+
+// NewMonitor builds an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		latest: make(map[string]StatsReport),
+		total:  make(map[string]StatsReport),
+	}
+}
+
+// Observe folds one heartbeat in.
+func (m *Monitor) Observe(r StatsReport) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, seen := m.latest[r.Agent]; !seen {
+		m.order = append(m.order, r.Agent)
+	}
+	m.latest[r.Agent] = r
+	t := m.total[r.Agent]
+	t.Agent, t.NF, t.Window, t.FreqHz = r.Agent, r.NF, r.Window, r.FreqHz
+	t.Packets += r.Packets
+	t.Bits += r.Bits
+	t.Cycles += r.Cycles
+	t.Counters = t.Counters.Add(r.Counters)
+	m.total[r.Agent] = t
+}
+
+// Windows returns the number of heartbeats observed in total.
+func (m *Monitor) Windows() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, r := range m.latest {
+		n += r.Window + 1
+	}
+	return n
+}
+
+// Table renders one row per agent, in first-heartbeat order: the
+// latest window's instantaneous rates alongside the deployment's
+// running totals.
+func (m *Monitor) Table() *stats.Table {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := stats.NewTable("Live telemetry (latest window per agent)",
+		"agent", "nf", "win", "pkts", "Mpps", "Gbps", "ipc", "l1%", "stall%", "total pkts", "avg Gbps")
+	for _, name := range m.order {
+		r := m.latest[name]
+		tot := m.total[name]
+		t.AddRow(r.Agent, r.NF, stats.I(r.Window), stats.U(r.Packets),
+			stats.F(r.Mpps(), 2), stats.F(r.Gbps(), 2),
+			stats.F(r.Counters.IPC(), 2), stats.Pct(r.Counters.L1HitRate()),
+			stats.Pct(r.Counters.StallFraction()),
+			stats.U(tot.Packets), stats.F(tot.Gbps(), 2))
+	}
+	return t
+}

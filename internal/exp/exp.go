@@ -41,6 +41,12 @@ type Options struct {
 	// sequential. Fig9 measures host wall-clock and always runs
 	// sequentially regardless.
 	Parallel int
+	// Tracer, when non-nil, is attached to every simulated core the run
+	// creates. Tracing is observation-only — tables and counters are
+	// byte-identical with or without it — but it serializes sweep
+	// points' event streams into one consumer, so combine it with
+	// Parallel <= 1 unless the tracer is concurrency-safe.
+	Tracer sim.Tracer
 }
 
 func (o Options) simCfg() sim.Config {
@@ -170,6 +176,9 @@ func runRTC(o Options, as *mem.AddressSpace, prog *model.Program, src rt.Source,
 	if err != nil {
 		return rt.Result{}, err
 	}
+	if o.Tracer != nil {
+		core.SetTracer(o.Tracer)
+	}
 	w, err := rtc.NewWorker(core, as, prog, rtc.DefaultConfig())
 	if err != nil {
 		return rt.Result{}, err
@@ -188,6 +197,9 @@ func runIL(o Options, as *mem.AddressSpace, prog *model.Program, src rt.Source, 
 	core, err := sim.NewCore(o.simCfg())
 	if err != nil {
 		return rt.Result{}, err
+	}
+	if o.Tracer != nil {
+		core.SetTracer(o.Tracer)
 	}
 	cfg := rt.DefaultConfig()
 	cfg.Tasks = tasks

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
 )
 
 // CSID identifies a control state within a Program. CSEnd (0) is the
@@ -162,6 +163,9 @@ func (p *Program) Step(e *Exec) error {
 	}
 	info := &p.cs[e.CS]
 	core := e.Core
+	if core.Tracer() != nil {
+		return p.stepTraced(e, info)
+	}
 
 	before := core.Now()
 	for _, s := range info.Reads {
@@ -194,6 +198,57 @@ func (p *Program) Step(e *Exec) error {
 	return nil
 }
 
+// stepTraced is Step's instrumented twin, taken only while a tracer is
+// attached. It charges exactly the same simulated work in exactly the
+// same order as the untraced path — the golden-counters tests run both
+// paths against the same pinned fingerprints, so any drift between the
+// two bodies is caught — and additionally emits action, state-access
+// and transition events with attribution stamps.
+func (p *Program) stepTraced(e *Exec, info *CSInfo) error {
+	core := e.Core
+	core.SetCS(int32(e.CS))
+	begin := core.Now()
+	core.Emit(sim.TraceActionBegin, sim.CauseNone, uint64(info.Action), 0, 0)
+
+	before := core.Now()
+	for _, s := range info.Reads {
+		c0 := core.Counters()
+		core.Read(Resolve(s, info.Bind, e), s.Size)
+		d := core.Counters().Sub(c0)
+		core.Emit(sim.TraceAccess, sim.CauseNone, uint64(s.Base), d.StallCycles, d.L1Misses<<32|d.LLCMisses)
+	}
+	afterReads := core.Now()
+
+	act := &p.actions[info.Action]
+	core.Compute(act.Cost)
+	ev := act.Fn(e)
+
+	preWrites := core.Now()
+	for _, s := range info.Writes {
+		c0 := core.Counters()
+		core.Write(Resolve(s, info.Bind, e), s.Size)
+		d := core.Counters().Sub(c0)
+		core.Emit(sim.TraceAccess, sim.CauseNone, uint64(s.Base), d.StallCycles, d.L1Misses<<32|d.LLCMisses)
+	}
+	e.AccessCycles += (afterReads - before) + (core.Now() - preWrites)
+
+	if ev <= EvInvalid || int(ev) >= len(info.Next) {
+		return fmt.Errorf("model: %s: action %s returned unknown event %d", info.Name, act.Name, ev)
+	}
+	next := info.Next[ev]
+	if next < 0 {
+		return fmt.Errorf("model: %s: no transition for event %q", info.Name, p.EventName(ev))
+	}
+	core.Emit(sim.TraceActionEnd, sim.CauseNone, uint64(info.Action), core.Now()-begin, 0)
+	core.Emit(sim.TraceTransition, sim.CauseNone, uint64(ev), uint64(next), 0)
+	e.CS = next
+	e.Prefetched = false
+	if next == CSEnd {
+		e.Done = true
+	}
+	return nil
+}
+
 // PrefetchCurrent issues prefetches for the current CS's prefetch plan —
 // the Prefetch step of Algorithm 1 — and marks the P-state.
 func (p *Program) PrefetchCurrent(e *Exec) {
@@ -202,6 +257,10 @@ func (p *Program) PrefetchCurrent(e *Exec) {
 		return
 	}
 	info := &p.cs[e.CS]
+	if e.Core.Tracer() != nil {
+		// Stamp prefetch events with the CS they are fetching for.
+		e.Core.SetCS(int32(e.CS))
+	}
 	for _, s := range info.Prefetch {
 		e.Core.Prefetch(Resolve(s, info.Bind, e), s.Size)
 	}

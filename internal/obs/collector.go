@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/stats"
+)
+
+// csStats accumulates attribution for one control state (and therefore
+// one NFAction binding: a CS executes exactly one action).
+type csStats struct {
+	execs     uint64
+	cycles    uint64
+	stall     uint64
+	l1Miss    uint64
+	llcMiss   uint64
+	accesses  uint64
+	pfIssued  uint64
+	pfUseful  uint64
+	pfLate    uint64
+	pfDropped uint64
+}
+
+// stateStats accumulates attribution for one NFState span base kind.
+type stateStats struct {
+	accesses uint64
+	stall    uint64
+	l1Miss   uint64
+	llcMiss  uint64
+}
+
+// Collector is a sim.Tracer that aggregates the event stream into
+// per-NFAction and per-NFState attribution plus a per-packet latency
+// histogram (rx cycle to stream-done cycle). It is built entirely from
+// events — it never queries the core — and renders stats.Table reports.
+type Collector struct {
+	prog   *model.Program
+	freq   float64
+	perCS  []csStats
+	states [8]stateStats // indexed by model.BaseKind (1..6)
+	causes [8]uint64     // stall cycles by sim.StallCause
+
+	lat     stats.Histogram
+	rxCycle map[uint64]uint64 // packet buffer addr -> rx cycle
+
+	events   uint64
+	rx       uint64
+	done     uint64
+	switches uint64
+}
+
+// NewCollector builds a collector for programs compiled like prog
+// (the CS table supplies action names) on a core clocked at freqHz.
+func NewCollector(prog *model.Program, freqHz float64) *Collector {
+	return &Collector{
+		prog:    prog,
+		freq:    freqHz,
+		perCS:   make([]csStats, prog.NumCS()),
+		rxCycle: make(map[uint64]uint64, 64),
+	}
+}
+
+// Events returns the number of trace events consumed.
+func (c *Collector) Events() uint64 { return c.events }
+
+// Latency returns the per-packet rx→done latency histogram in cycles.
+func (c *Collector) Latency() *stats.Histogram { return &c.lat }
+
+// cs returns the per-CS accumulator for ev, or nil when the event is
+// not attributed to a control state.
+func (c *Collector) cs(ev sim.TraceEvent) *csStats {
+	if ev.CS < 0 || int(ev.CS) >= len(c.perCS) {
+		return nil
+	}
+	return &c.perCS[ev.CS]
+}
+
+// Event implements sim.Tracer.
+func (c *Collector) Event(ev sim.TraceEvent) {
+	c.events++
+	switch ev.Kind {
+	case sim.TraceActionBegin:
+		if s := c.cs(ev); s != nil {
+			s.execs++
+		}
+	case sim.TraceActionEnd:
+		if s := c.cs(ev); s != nil {
+			s.cycles += ev.B
+		}
+	case sim.TraceAccess:
+		l1, llc := ev.C>>32, ev.C&0xffffffff
+		if s := c.cs(ev); s != nil {
+			s.accesses++
+			s.l1Miss += l1
+			s.llcMiss += llc
+		}
+		if base := ev.A; base < uint64(len(c.states)) {
+			st := &c.states[base]
+			st.accesses++
+			st.stall += ev.B
+			st.l1Miss += l1
+			st.llcMiss += llc
+		}
+	case sim.TraceStall:
+		c.causes[ev.Cause] += ev.A
+		if s := c.cs(ev); s != nil {
+			s.stall += ev.A
+			if ev.Cause == sim.CausePrefetchLate {
+				s.pfLate++
+			}
+		}
+	case sim.TracePrefetchIssued:
+		if s := c.cs(ev); s != nil {
+			s.pfIssued++
+		}
+	case sim.TracePrefetchUseful:
+		if s := c.cs(ev); s != nil {
+			s.pfUseful++
+		}
+	case sim.TracePrefetchDropped:
+		if s := c.cs(ev); s != nil {
+			s.pfDropped++
+		}
+	case sim.TraceTaskSwitch:
+		c.switches++
+	case sim.TraceRx:
+		c.rx++
+		c.rxCycle[ev.A] = ev.Cycle
+	case sim.TraceStreamDone:
+		c.done++
+		if rx, ok := c.rxCycle[ev.A]; ok {
+			c.lat.Add(ev.Cycle - rx)
+			delete(c.rxCycle, ev.A)
+		}
+	}
+}
+
+// usec converts cycles to microseconds at the collector's clock.
+func (c *Collector) usec(cycles uint64) float64 {
+	if c.freq == 0 {
+		return 0
+	}
+	return float64(cycles) / c.freq * 1e6
+}
+
+// ActionTable renders per-NFAction attribution: executions, cycles,
+// stall share, misses, and prefetch efficacy per control state, in CS
+// order (deterministic).
+func (c *Collector) ActionTable() *stats.Table {
+	t := stats.NewTable(
+		"Attribution — per NFAction (by control state)",
+		"cs", "action", "execs", "cycles", "cyc/exec", "stall", "stall%",
+		"l1miss", "llcmiss", "pf.iss", "pf.use", "pf.late", "pf.drop")
+	for id := 1; id < len(c.perCS); id++ {
+		s := &c.perCS[id]
+		if s.execs == 0 && s.pfIssued == 0 {
+			continue
+		}
+		name, action := "cs-"+stats.I(id), ""
+		if info, err := c.prog.CS(model.CSID(id)); err == nil {
+			name = info.Name
+			if act, err := c.prog.Action(info.Action); err == nil {
+				action = act.Name
+			}
+		}
+		perExec := float64(0)
+		stallPct := float64(0)
+		if s.execs > 0 {
+			perExec = float64(s.cycles) / float64(s.execs)
+		}
+		if s.cycles > 0 {
+			stallPct = float64(s.stall) / float64(s.cycles)
+		}
+		t.AddRow(name, action, stats.U(s.execs), stats.U(s.cycles),
+			stats.F(perExec, 1), stats.U(s.stall), stats.Pct(stallPct),
+			stats.U(s.l1Miss), stats.U(s.llcMiss), stats.U(s.pfIssued),
+			stats.U(s.pfUseful), stats.U(s.pfLate), stats.U(s.pfDropped))
+	}
+	return t
+}
+
+// StateTable renders per-NFState attribution keyed by span base kind:
+// which class of state (per-flow, sub-flow, packet, control, temp,
+// match-structure) the stall cycles and misses came from.
+func (c *Collector) StateTable() *stats.Table {
+	t := stats.NewTable(
+		"Attribution — per NFState (by span base)",
+		"state", "accesses", "stall", "stall/access", "l1miss", "llcmiss")
+	for base := 1; base < len(c.states); base++ {
+		s := &c.states[base]
+		if s.accesses == 0 {
+			continue
+		}
+		t.AddRow(model.BaseKind(base).String(), stats.U(s.accesses),
+			stats.U(s.stall), stats.F(float64(s.stall)/float64(s.accesses), 2),
+			stats.U(s.l1Miss), stats.U(s.llcMiss))
+	}
+	return t
+}
+
+// LatencyTable renders the per-packet latency distribution with the
+// tail quantiles (p50/p95/p99/p99.9) in cycles and microseconds.
+func (c *Collector) LatencyTable() *stats.Table {
+	t := stats.NewTable(
+		"Per-packet latency (rx → stream done), "+stats.U(c.lat.Count())+" packets",
+		"metric", "cycles", "usec")
+	row := func(name string, v uint64) {
+		t.AddRow(name, stats.U(v), stats.F(c.usec(v), 3))
+	}
+	row("min", c.lat.Min())
+	t.AddRow("mean", stats.F(c.lat.Mean(), 1), stats.F(c.lat.Mean()/c.freq*1e6, 3))
+	row("p50", c.lat.Quantile(0.50))
+	row("p95", c.lat.Quantile(0.95))
+	row("p99", c.lat.Quantile(0.99))
+	row("p99.9", c.lat.Quantile(0.999))
+	row("max", c.lat.Max())
+	return t
+}
+
+// StallTable renders total stall cycles by cause.
+func (c *Collector) StallTable() *stats.Table {
+	t := stats.NewTable("Stall cycles by cause", "cause", "cycles", "share")
+	var total uint64
+	for _, v := range c.causes {
+		total += v
+	}
+	for cause := 1; cause < len(c.causes); cause++ {
+		v := c.causes[cause]
+		if v == 0 {
+			continue
+		}
+		share := float64(0)
+		if total > 0 {
+			share = float64(v) / float64(total)
+		}
+		t.AddRow(sim.StallCause(cause).String(), stats.U(v), stats.Pct(share))
+	}
+	return t
+}
+
+// Tables renders every attribution report.
+func (c *Collector) Tables() []*stats.Table {
+	return []*stats.Table{c.ActionTable(), c.StateTable(), c.StallTable(), c.LatencyTable()}
+}

@@ -1,0 +1,54 @@
+// Package obs is GuNFu's observability layer: consumers for the
+// cycle-timestamped trace events the simulated core, the model and the
+// runtimes emit through sim.Tracer (see internal/sim/trace.go).
+//
+// The package provides three tracers:
+//
+//   - Collector aggregates per-NFAction and per-NFState attribution
+//     (stall cycles, misses, prefetch efficacy) plus a log-bucketed
+//     per-packet latency histogram, and renders them as stats.Table
+//     reports — the "where did the cycles go" companion to the
+//     aggregate PMU counter block.
+//   - TraceWriter records the raw event stream and exports it as
+//     Chrome trace-event JSON, viewable in Perfetto (ui.perfetto.dev)
+//     or chrome://tracing: one track per interleaved NFTask slot with
+//     action executions and stalls as nested slices, plus a prefetch
+//     track with in-flight fills.
+//   - Multi fans one event stream out to several tracers.
+//
+// Everything here is observation-only: a tracer never calls back into
+// the simulation, so attaching one is counter-neutral by construction
+// (and by the golden-counters tests, which pin traced and untraced
+// fingerprints to the same strings).
+package obs
+
+import "github.com/gunfu-nfv/gunfu/internal/sim"
+
+// multi fans events out to a fixed set of tracers.
+type multi []sim.Tracer
+
+// Event implements sim.Tracer.
+func (m multi) Event(ev sim.TraceEvent) {
+	for _, t := range m {
+		t.Event(ev)
+	}
+}
+
+// Multi combines tracers into one; nils are dropped. Returns nil when
+// nothing remains, so the result can be passed straight to SetTracer.
+func Multi(tracers ...sim.Tracer) sim.Tracer {
+	var ts multi
+	for _, t := range tracers {
+		if t != nil {
+			ts = append(ts, t)
+		}
+	}
+	switch len(ts) {
+	case 0:
+		return nil
+	case 1:
+		return ts[0]
+	default:
+		return ts
+	}
+}

@@ -1,0 +1,252 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/model"
+	"github.com/gunfu-nfv/gunfu/internal/nf/nat"
+	"github.com/gunfu-nfv/gunfu/internal/obs"
+	"github.com/gunfu-nfv/gunfu/internal/rt"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/traffic"
+)
+
+// buildNAT returns a pre-populated NAT program and matching generator.
+func buildNAT(t testing.TB, flows int) (*model.Program, *traffic.FlowGen, *mem.AddressSpace) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	n, err := nat.New(as, nat.Config{MaxFlows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := traffic.NewFlowGen(traffic.FlowGenConfig{Flows: flows, PacketBytes: 64, Order: traffic.OrderUniform, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < flows; i++ {
+		if err := n.AddFlow(g.FlowTuple(i), int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := n.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, g, as
+}
+
+// sumTracer cross-checks the event stream against the PMU block.
+type sumTracer struct {
+	stall    uint64
+	pfIss    uint64
+	pfUse    uint64
+	pfLate   uint64
+	pfDrop   uint64
+	pfRedun  uint64
+	switches uint64
+	events   uint64
+}
+
+func (s *sumTracer) Event(ev sim.TraceEvent) {
+	s.events++
+	switch ev.Kind {
+	case sim.TraceStall:
+		s.stall += ev.A
+		if ev.Cause == sim.CausePrefetchLate {
+			s.pfLate++
+		}
+	case sim.TracePrefetchIssued:
+		s.pfIss++
+	case sim.TracePrefetchUseful:
+		s.pfUse++
+	case sim.TracePrefetchDropped:
+		s.pfDrop++
+	case sim.TracePrefetchRedundant:
+		s.pfRedun++
+	case sim.TraceTaskSwitch:
+		s.switches++
+	}
+}
+
+// runTraced executes a NAT workload with the given tracers attached
+// from the first packet.
+func runTraced(t *testing.T, packets uint64, tracers ...sim.Tracer) rt.Result {
+	t.Helper()
+	prog, g, as := buildNAT(t, 1024)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := rt.NewWorker(core, as, prog, rt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetTracer(obs.Multi(tracers...))
+	res, err := w.Run(g, packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCollectorMatchesCounters(t *testing.T) {
+	prog, _, _ := buildNAT(t, 16)
+	col := obs.NewCollector(prog, sim.DefaultConfig().FreqHz)
+	sums := &sumTracer{}
+	res := runTraced(t, 3000, col, sums)
+
+	if sums.events == 0 || col.Events() != sums.events {
+		t.Fatalf("events: collector %d, checker %d", col.Events(), sums.events)
+	}
+	c := res.Counters
+	if sums.stall != c.StallCycles {
+		t.Fatalf("stall events sum %d, PMU %d", sums.stall, c.StallCycles)
+	}
+	if sums.pfIss != c.PrefetchIssued || sums.pfUse != c.PrefetchUseful ||
+		sums.pfLate != c.PrefetchLate || sums.pfDrop != c.PrefetchDropped ||
+		sums.pfRedun != c.PrefetchRedundant {
+		t.Fatalf("prefetch events iss/use/late/drop/red = %d/%d/%d/%d/%d, PMU %d/%d/%d/%d/%d",
+			sums.pfIss, sums.pfUse, sums.pfLate, sums.pfDrop, sums.pfRedun,
+			c.PrefetchIssued, c.PrefetchUseful, c.PrefetchLate, c.PrefetchDropped, c.PrefetchRedundant)
+	}
+	if sums.switches != c.TaskSwitches {
+		t.Fatalf("switch events %d, PMU %d", sums.switches, c.TaskSwitches)
+	}
+}
+
+func TestCollectorLatencyAndTables(t *testing.T) {
+	prog, _, _ := buildNAT(t, 16)
+	col := obs.NewCollector(prog, sim.DefaultConfig().FreqHz)
+	res := runTraced(t, 2000, col)
+
+	lat := col.Latency()
+	if lat.Count() != res.Packets {
+		t.Fatalf("latency samples %d, packets %d", lat.Count(), res.Packets)
+	}
+	if lat.Quantile(0.5) == 0 || lat.Quantile(0.99) < lat.Quantile(0.5) {
+		t.Fatalf("degenerate quantiles: p50=%d p99=%d", lat.Quantile(0.5), lat.Quantile(0.99))
+	}
+
+	tables := col.Tables()
+	if len(tables) != 4 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tab := range tables {
+		if tab.NumRows() == 0 {
+			t.Fatalf("table %q empty", tab.Title)
+		}
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatalf("render %q: %v", tab.Title, err)
+		}
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatalf("csv %q: %v", tab.Title, err)
+		}
+	}
+
+	// The per-action table must attribute at least as many executions as
+	// packets (each stream runs >= 1 action) and name real NAT states.
+	actions := col.ActionTable()
+	execCol, err := actions.ColumnIndex("execs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs float64
+	for r := 0; r < actions.NumRows(); r++ {
+		v, err := actions.CellFloat(r, execCol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execs += v
+	}
+	if execs < float64(res.Packets) {
+		t.Fatalf("attributed execs %.0f < packets %d", execs, res.Packets)
+	}
+	cell, err := actions.Cell(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell == "" {
+		t.Fatal("unnamed control state in attribution")
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	prog, _, _ := buildNAT(t, 16)
+	tw := obs.NewTraceWriter(prog, sim.DefaultConfig().FreqHz)
+	runTraced(t, 500, tw)
+
+	if tw.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	var buf bytes.Buffer
+	if err := tw.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	kinds := map[string]int{}
+	named := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			t.Fatalf("event %d missing name/ph: %+v", i, ev)
+		}
+		if ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d missing ts/pid/tid", i)
+		}
+		if *ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("event %d negative time: ts=%v dur=%v", i, *ev.Ts, ev.Dur)
+		}
+		kinds[ev.Ph]++
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if name, ok := ev.Args["name"].(string); ok {
+				named[name] = true
+			}
+		}
+	}
+	if kinds["M"] == 0 || kinds["X"] == 0 || kinds["i"] == 0 {
+		t.Fatalf("missing phases: %v", kinds)
+	}
+	// Every NFTask slot in the default config gets a named track.
+	if !named["dispatch"] || !named["task 0"] {
+		t.Fatalf("tracks not named: %v", named)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if obs.Multi() != nil || obs.Multi(nil, nil) != nil {
+		t.Fatal("empty Multi must be nil")
+	}
+	a, b := &sumTracer{}, &sumTracer{}
+	if got := obs.Multi(nil, a); got != sim.Tracer(a) {
+		t.Fatal("single Multi must unwrap")
+	}
+	m := obs.Multi(a, b)
+	m.Event(sim.TraceEvent{Kind: sim.TraceTaskSwitch})
+	if a.switches != 1 || b.switches != 1 {
+		t.Fatalf("fan-out failed: %d/%d", a.switches, b.switches)
+	}
+}

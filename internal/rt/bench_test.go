@@ -38,6 +38,75 @@ func BenchmarkWorkerSteadyState(b *testing.B) {
 	}
 }
 
+// countingTracer is the cheapest possible tracer: it measures the cost
+// of the emission machinery itself rather than any consumer.
+type countingTracer struct{ events uint64 }
+
+func (c *countingTracer) Event(sim.TraceEvent) { c.events++ }
+
+// BenchmarkWorkerSteadyStateTraced is BenchmarkWorkerSteadyState with a
+// minimal tracer attached: the delta against the untraced benchmark is
+// the cost of event construction and dispatch on the hot path. It must
+// also stay at 0 allocs/op — TraceEvent is passed by value and no
+// emission site may box or escape it.
+func BenchmarkWorkerSteadyStateTraced(b *testing.B) {
+	prog, g := buildNAT(b, 1<<13)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	w, err := rt.NewWorker(core, as, prog, rt.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Run(g, 4096); err != nil { // warm caches and pools
+		b.Fatal(err)
+	}
+	ct := &countingTracer{}
+	core.SetTracer(ct)
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := w.Run(g, uint64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if res.Packets != uint64(b.N) {
+		b.Fatalf("processed %d packets, want %d", res.Packets, b.N)
+	}
+	if ct.events == 0 {
+		b.Fatal("tracer attached but saw no events")
+	}
+	b.ReportMetric(float64(ct.events)/float64(b.N), "events/pkt")
+}
+
+// TestTracerDisabledZeroAlloc pins the nil-tracer fast path: a steady
+// state window with tracing disabled must not allocate at all.
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	prog, g := buildNAT(t, 1<<10)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	w, err := rt.NewWorker(core, as, prog, rt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(g, 4096); err != nil { // warm caches and pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := w.Run(g, 256); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced steady state allocates %.1f/run, want 0", allocs)
+	}
+}
+
 // BenchmarkRTCSteadyState is the same workload under the
 // run-to-completion baseline, for host-cost comparison.
 func BenchmarkRTCSteadyState(b *testing.B) {

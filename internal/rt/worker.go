@@ -162,10 +162,10 @@ func NewWorker(core *sim.Core, as *mem.AddressSpace, prog *model.Program, cfg Co
 		return nil, fmt.Errorf("rt: %w", err)
 	}
 	w := &Worker{
-		core:  core,
-		prog:  prog,
-		cfg:   cfg,
-		ring:  ring,
+		core:     core,
+		prog:     prog,
+		cfg:      cfg,
+		ring:     ring,
 		tasks:    make([]*model.Exec, cfg.Tasks),
 		batch:    make([]*pkt.Packet, 0, cfg.Batch),
 		ringNext: make([]int32, cfg.Tasks),
@@ -193,6 +193,12 @@ func (w *Worker) receive(src Source, limit uint64) []*pkt.Packet {
 	if limit > 0 && uint64(n) > limit {
 		n = int(limit)
 	}
+	traced := w.core.Tracer() != nil
+	if traced {
+		// Receive happens outside any NFTask; clear the stamps.
+		w.core.SetTask(-1)
+		w.core.SetCS(-1)
+	}
 	batch := w.batch[:0]
 	for len(batch) < n {
 		p := src.Next()
@@ -207,6 +213,9 @@ func (w *Worker) receive(src Source, limit uint64) []*pkt.Packet {
 		}
 		w.core.DMAFill(p.Addr, hdr)
 		w.core.Compute(w.cfg.RxCost)
+		if traced {
+			w.core.Emit(sim.TraceRx, sim.CauseNone, p.Addr, uint64(p.Bits()), 0)
+		}
 		batch = append(batch, p)
 	}
 	return batch
@@ -224,6 +233,9 @@ func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
 	var bits float64
 	var accessCycles uint64
 	remaining := maxPackets
+	// traced gates the per-visit attribution stamps; resolved once so
+	// the untraced scheduler loop pays a single predictable branch.
+	traced := w.core.Tracer() != nil
 
 	for {
 		batch := w.receive(src, remaining)
@@ -257,6 +269,9 @@ func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
 		chargeSwitch := len(w.tasks) > 1 || w.cfg.Prefetch
 		cur, prev := int32(0), int32(active-1)
 		for active > 0 {
+			if traced {
+				w.core.SetTask(cur)
+			}
 			t := w.tasks[cur]
 			if w.cfg.Prefetch && !t.Prefetched {
 				if w.cfg.ResidentCheck && w.prog.ResidentCurrent(t) {
@@ -277,6 +292,9 @@ func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
 				bits += t.Pkt.Bits()
 				accessCycles += t.AccessCycles
 				t.AccessCycles = 0
+				if traced {
+					w.core.Emit(sim.TraceStreamDone, sim.CauseNone, t.Pkt.Addr, uint64(t.Pkt.Bits()), 0)
+				}
 				if next < len(batch) {
 					t.ResetStream(batch[next], w.prog.Start(), w.seq)
 					next++

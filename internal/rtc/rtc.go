@@ -86,12 +86,19 @@ func (w *Worker) Run(src rt.Source, maxPackets uint64) (rt.Result, error) {
 	var done uint64
 	var bits float64
 	var accessCycles uint64
+	// RTC has a single execution context; stamp it as task slot 0 so
+	// traced runs are comparable with single-task interleaved runs.
+	traced := w.core.Tracer() != nil
 
 	for maxPackets == 0 || done < maxPackets {
 		// Receive a burst (cost identical to the interleaved runtime).
 		n := w.cfg.Batch
 		if maxPackets > 0 && maxPackets-done < uint64(n) {
 			n = int(maxPackets - done)
+		}
+		if traced {
+			w.core.SetTask(-1)
+			w.core.SetCS(-1)
 		}
 		batch := w.batch[:0]
 		for len(batch) < n {
@@ -107,10 +114,16 @@ func (w *Worker) Run(src rt.Source, maxPackets uint64) (rt.Result, error) {
 			}
 			w.core.DMAFill(p.Addr, hdr)
 			w.core.Compute(w.cfg.RxCost)
+			if traced {
+				w.core.Emit(sim.TraceRx, sim.CauseNone, p.Addr, uint64(p.Bits()), 0)
+			}
 			batch = append(batch, p)
 		}
 		if len(batch) == 0 {
 			break
+		}
+		if traced {
+			w.core.SetTask(0)
 		}
 		for _, p := range batch {
 			w.exec.ResetStream(p, w.prog.Start(), w.seq)
@@ -123,6 +136,9 @@ func (w *Worker) Run(src rt.Source, maxPackets uint64) (rt.Result, error) {
 			bits += p.Bits()
 			accessCycles += w.exec.AccessCycles
 			w.exec.AccessCycles = 0
+			if traced {
+				w.core.Emit(sim.TraceStreamDone, sim.CauseNone, p.Addr, uint64(p.Bits()), 0)
+			}
 		}
 	}
 

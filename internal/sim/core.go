@@ -24,9 +24,20 @@ type Core struct {
 	// a comparison instead of a compaction scan.
 	minReady uint64
 
+	// trc, when non-nil, receives cycle-timestamped trace events;
+	// curTask and curCS are the attribution stamps (see trace.go).
+	// Every emission site is guarded by a nil check so the disabled
+	// path costs one predictable branch and zero allocations.
+	trc     Tracer
+	curTask int32
+	curCS   int32
+
 	// switchInsts is SwitchCost*IssueWidth/2, precomputed so TaskSwitch
-	// avoids the multiply on the scheduler's hottest edge.
+	// avoids the multiply on the scheduler's hottest edge; switchCost
+	// caches cfg.SwitchCost to keep TaskSwitch within the inlining
+	// budget alongside its traced-path branch.
 	switchInsts uint64
+	switchCost  uint64
 	// issueShift is log2(IssueWidth) when the width is a power of two
 	// (issuePow2), letting Compute replace its division with a shift.
 	issueShift uint
@@ -45,6 +56,9 @@ func NewCore(cfg Config) (*Core, error) {
 		llc:         newCache(cfg.LLC),
 		outstanding: make([]uint64, 0, cfg.MSHRs),
 		switchInsts: cfg.SwitchCost * cfg.IssueWidth / 2,
+		switchCost:  cfg.SwitchCost,
+		curTask:     -1,
+		curCS:       -1,
 	}
 	if w := cfg.IssueWidth; w&(w-1) == 0 {
 		c.issuePow2 = true
@@ -82,6 +96,8 @@ func (c *Core) Reset() {
 	c.llc.invalidateAll()
 	c.outstanding = c.outstanding[:0]
 	c.minReady = 0
+	c.curTask = -1
+	c.curCS = -1
 }
 
 // Compute charges insts simulated instructions of pure computation.
@@ -102,13 +118,27 @@ func (c *Core) Compute(insts uint64) {
 func (c *Core) Stall(cycles uint64) {
 	c.clock += cycles
 	c.ctr.StallCycles += cycles
+	if c.trc != nil {
+		c.Emit(TraceStall, CauseFixed, cycles, 0, 0)
+	}
 }
 
-// TaskSwitch charges the scheduler's NFTask switch cost.
+// TaskSwitch charges the scheduler's NFTask switch cost. The emission
+// is outlined (emitSwitch) to keep this on the inlining fast path.
 func (c *Core) TaskSwitch() {
 	c.ctr.TaskSwitches++
-	c.clock += c.cfg.SwitchCost
+	c.clock += c.switchCost
 	c.ctr.Instructions += c.switchInsts
+	if c.trc != nil {
+		c.emitSwitch()
+	}
+}
+
+// emitSwitch is the cold traced tail of TaskSwitch.
+//
+//go:noinline
+func (c *Core) emitSwitch() {
+	c.Emit(TraceTaskSwitch, CauseNone, 0, 0, 0)
 }
 
 // Read charges a demand read of size bytes at addr.
@@ -162,11 +192,22 @@ func (c *Core) burst(addr, size uint64, write bool) {
 func (c *Core) access(line uint64, overlapped bool) bool {
 	slot, v1 := c.l1.probe(line)
 	if slot >= 0 {
-		c.demandHitL1(slot)
+		// L1 demand hit — the simulator's hottest operation, kept flat
+		// here (access cannot inline a helper carrying the prefetch
+		// bookkeeping and stay profitable). Only prefetched or
+		// in-flight lines take the outlined slow path.
+		c.ctr.L1Hits++
+		f := &c.l1.fill[slot]
+		if f.readyAt > c.clock || f.prefetched {
+			c.demandHitPrefetched(f)
+		}
+		c.clock += c.cfg.L1.HitLatency
+		c.l1.stamps[slot] = c.clock
 		return false
 	}
 	c.ctr.L1Misses++
 	var lat uint64
+	cause := CauseL2
 	if slot, v2 := c.l2.probe(line); slot >= 0 {
 		c.ctr.L2Hits++
 		lat = c.waitReady(c.l2, slot, c.cfg.L2.HitLatency)
@@ -175,10 +216,12 @@ func (c *Core) access(line uint64, overlapped bool) bool {
 		c.ctr.L2Misses++
 		if slot, v3 := c.llc.probe(line); slot >= 0 {
 			c.ctr.LLCHits++
+			cause = CauseLLC
 			lat = c.waitReady(c.llc, slot, c.cfg.LLC.HitLatency)
 			c.llc.touch(slot, c.clock)
 		} else {
 			c.ctr.LLCMisses++
+			cause = CauseDRAM
 			lat = c.cfg.DRAMLatency
 			c.llc.installAt(v3, line, c.clock, c.clock)
 		}
@@ -189,40 +232,58 @@ func (c *Core) access(line uint64, overlapped bool) bool {
 	}
 	c.clock += lat
 	c.ctr.StallCycles += lat
+	if c.trc != nil {
+		c.Emit(TraceStall, cause, lat, line<<lineShift, 0)
+	}
 	c.l1.installAt(v1, line, c.clock, c.clock)
 	return true
 }
 
-// demandHitL1 charges an L1 hit, accounting for in-flight prefetch fills.
-func (c *Core) demandHitL1(slot int) {
-	c.ctr.L1Hits++
-	lat := c.cfg.L1.HitLatency
-	f := &c.l1.fill[slot]
+// demandHitPrefetched resolves a demand hit on a prefetched line:
+// either the fill is still in flight (stall for the remainder — a late
+// prefetch) or it completed and the prefetch was useful.
+//
+//go:noinline
+func (c *Core) demandHitPrefetched(f *fillMeta) {
 	if f.readyAt > c.clock {
 		stall := f.readyAt - c.clock
 		c.clock += stall
 		c.ctr.StallCycles += stall
 		c.ctr.PrefetchLate++
 		f.prefetched = false
+		if c.trc != nil {
+			c.Emit(TraceStall, CausePrefetchLate, stall, 0, 0)
+		}
 	} else if f.prefetched {
 		c.ctr.PrefetchUseful++
 		f.prefetched = false
+		if c.trc != nil {
+			c.Emit(TracePrefetchUseful, CauseNone, 0, 0, 0)
+		}
 	}
-	c.clock += lat
-	c.l1.stamps[slot] = c.clock
 }
 
 // waitReady stalls until an outer-level slot's fill completes, then
 // charges that level's hit latency; returns the total charged cycles
-// minus the stall (stall is applied immediately).
+// minus the stall (stall is applied immediately). The stall branch is
+// outlined (stallLate) to keep waitReady inlinable.
 func (c *Core) waitReady(lvl *cache, slot int, hitLat uint64) uint64 {
 	if ready := lvl.fill[slot].readyAt; ready > c.clock {
-		stall := ready - c.clock
-		c.clock += stall
-		c.ctr.StallCycles += stall
-		c.ctr.PrefetchLate++
+		c.stallLate(ready - c.clock)
 	}
 	return hitLat
+}
+
+// stallLate charges a wait for an in-flight fill to complete.
+//
+//go:noinline
+func (c *Core) stallLate(stall uint64) {
+	c.clock += stall
+	c.ctr.StallCycles += stall
+	c.ctr.PrefetchLate++
+	if c.trc != nil {
+		c.Emit(TraceStall, CausePrefetchLate, stall, 0, 0)
+	}
 }
 
 // Prefetch issues non-blocking fills for every line of [addr, addr+size).
@@ -249,10 +310,16 @@ func (c *Core) prefetchLine(line uint64) {
 	s1, v1 := c.l1.probe(line)
 	if s1 >= 0 {
 		c.ctr.PrefetchRedundant++
+		if c.trc != nil {
+			c.Emit(TracePrefetchRedundant, CauseNone, line<<lineShift, 0, 0)
+		}
 		return
 	}
 	if c.activeMSHRs() >= c.cfg.MSHRs {
 		c.ctr.PrefetchDropped++
+		if c.trc != nil {
+			c.Emit(TracePrefetchDropped, CauseNone, line<<lineShift, 0, 0)
+		}
 		return
 	}
 	// Fill latency depends on where the line currently lives. The miss
@@ -277,6 +344,9 @@ func (c *Core) prefetchLine(line uint64) {
 	}
 	c.outstanding = append(c.outstanding, ready)
 	c.ctr.PrefetchIssued++
+	if c.trc != nil {
+		c.Emit(TracePrefetchIssued, CauseNone, line<<lineShift, ready, 0)
+	}
 }
 
 // activeMSHRs returns the number of fills still in flight at the

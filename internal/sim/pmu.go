@@ -113,11 +113,53 @@ func (c Counters) L2HitRate() float64 {
 // Accesses returns total demand line accesses.
 func (c Counters) Accesses() uint64 { return c.Reads + c.Writes }
 
-// String renders a compact one-line summary for logs and dumps.
+// MPKI returns L1 demand misses per thousand instructions, the
+// cache-pressure metric perf reports as l1d-misses/instructions.
+func (c Counters) MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(c.L1Misses) / float64(c.Instructions)
+}
+
+// StallFraction returns the share of cycles spent waiting on memory —
+// the quantity interleaving exists to shrink.
+func (c Counters) StallFraction() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.StallCycles) / float64(c.Cycles)
+}
+
+// PrefetchAccuracy returns the fraction of issued prefetches that a
+// demand access later consumed (useful / issued). Low accuracy means
+// the prefetcher is filling lines nobody reads.
+func (c Counters) PrefetchAccuracy() float64 {
+	if c.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(c.PrefetchUseful) / float64(c.PrefetchIssued)
+}
+
+// PrefetchCoverage returns the fraction of would-be demand misses the
+// prefetcher absorbed: useful prefetches over useful prefetches plus
+// the L1 misses that still happened.
+func (c Counters) PrefetchCoverage() float64 {
+	total := c.PrefetchUseful + c.L1Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.PrefetchUseful) / float64(total)
+}
+
+// String renders a compact one-line summary for logs and dumps,
+// including the derived metrics that make a single line readable:
+// MPKI, the stall share of total cycles, and prefetch accuracy.
 func (c Counters) String() string {
 	return fmt.Sprintf(
-		"cycles=%d insts=%d ipc=%.2f l1=%.1f%% l2=%.1f%% llcMiss=%d pf={iss=%d use=%d late=%d drop=%d} stall=%d switches=%d",
+		"cycles=%d insts=%d ipc=%.2f l1=%.1f%% l2=%.1f%% mpki=%.2f llcMiss=%d pf={iss=%d use=%d late=%d drop=%d acc=%.0f%%} stall=%d (%.0f%%) switches=%d",
 		c.Cycles, c.Instructions, c.IPC(), 100*c.L1HitRate(), 100*c.L2HitRate(),
-		c.LLCMisses, c.PrefetchIssued, c.PrefetchUseful, c.PrefetchLate,
-		c.PrefetchDropped, c.StallCycles, c.TaskSwitches)
+		c.MPKI(), c.LLCMisses, c.PrefetchIssued, c.PrefetchUseful, c.PrefetchLate,
+		c.PrefetchDropped, 100*c.PrefetchAccuracy(), c.StallCycles,
+		100*c.StallFraction(), c.TaskSwitches)
 }

@@ -1,0 +1,196 @@
+package sim
+
+// This file defines the observability hook the simulated core (and the
+// layers above it: internal/model, internal/rt, internal/rtc) emit
+// cycle-timestamped events through. The hook is designed around two
+// invariants the golden-counters tests and the hot-path benchmarks
+// enforce:
+//
+//   - Zero overhead when disabled: every emission site is guarded by a
+//     single nil check, no event value is constructed unless a tracer
+//     is attached, and the disabled path allocates nothing.
+//   - Counter-neutral when enabled: a Tracer only observes. Nothing in
+//     the emission path touches the clock, the caches, the MSHRs or the
+//     PMU, so attaching a tracer never changes a simulated result.
+
+// TraceKind discriminates trace events.
+type TraceKind uint8
+
+// The event kinds. Per-kind argument conventions (A, B, C of
+// TraceEvent) are documented on each constant.
+const (
+	// TraceNone is the zero kind; never emitted.
+	TraceNone TraceKind = iota
+	// TraceRx is one received packet entering the runtime.
+	// A = simulated buffer address, B = wire bits.
+	TraceRx
+	// TracePrefetchIssued is an accepted prefetch line fill.
+	// A = line address, B = fill-complete cycle (readyAt).
+	TracePrefetchIssued
+	// TracePrefetchDropped is a prefetch rejected for want of MSHRs.
+	// A = line address.
+	TracePrefetchDropped
+	// TracePrefetchRedundant is a prefetch for a line already in L1.
+	// A = line address.
+	TracePrefetchRedundant
+	// TracePrefetchUseful is a demand access served by a completed
+	// prefetch. A = 0.
+	TracePrefetchUseful
+	// TraceStall is memory stall cycles charged to the core, emitted
+	// after the clock has advanced. A = stalled cycles (the stall spans
+	// [Cycle-A, Cycle]), B = line address (0 for CauseFixed).
+	TraceStall
+	// TraceAccess is one declared state-span access charged by
+	// model.Program.Step. A = span base kind (model.BaseKind),
+	// B = stall cycles within the access, C = L1 misses in the high 32
+	// bits and LLC misses in the low 32 bits.
+	TraceAccess
+	// TraceActionBegin marks the start of an NFAction execution.
+	// A = action id.
+	TraceActionBegin
+	// TraceActionEnd marks the end of an NFAction execution (after its
+	// declared writes). A = action id, B = elapsed cycles since the
+	// matching TraceActionBegin.
+	TraceActionEnd
+	// TraceTransition is an FSM transition taken after an action.
+	// A = event id, B = successor control state.
+	TraceTransition
+	// TraceTaskSwitch is one scheduler switch between NFTasks.
+	TraceTaskSwitch
+	// TraceStreamDone is a function stream running to completion.
+	// A = packet buffer address (matches the TraceRx of the same
+	// packet), B = wire bits.
+	TraceStreamDone
+)
+
+// String names the kind for diagnostics and exporters.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRx:
+		return "rx"
+	case TracePrefetchIssued:
+		return "pf-issued"
+	case TracePrefetchDropped:
+		return "pf-dropped"
+	case TracePrefetchRedundant:
+		return "pf-redundant"
+	case TracePrefetchUseful:
+		return "pf-useful"
+	case TraceStall:
+		return "stall"
+	case TraceAccess:
+		return "access"
+	case TraceActionBegin:
+		return "action-begin"
+	case TraceActionEnd:
+		return "action-end"
+	case TraceTransition:
+		return "transition"
+	case TraceTaskSwitch:
+		return "task-switch"
+	case TraceStreamDone:
+		return "stream-done"
+	default:
+		return "none"
+	}
+}
+
+// StallCause classifies where TraceStall cycles went.
+type StallCause uint8
+
+// The stall causes.
+const (
+	// CauseNone marks events that are not stalls.
+	CauseNone StallCause = iota
+	// CauseL2 is a demand fill served by L2.
+	CauseL2
+	// CauseLLC is a demand fill served by the LLC.
+	CauseLLC
+	// CauseDRAM is a demand fill that missed every level.
+	CauseDRAM
+	// CausePrefetchLate is a demand access that arrived before its
+	// in-flight prefetch completed and waited for the remainder.
+	CausePrefetchLate
+	// CauseFixed is a fixed overhead charged via Core.Stall.
+	CauseFixed
+)
+
+// String names the cause for diagnostics and exporters.
+func (c StallCause) String() string {
+	switch c {
+	case CauseL2:
+		return "l2-fill"
+	case CauseLLC:
+		return "llc-fill"
+	case CauseDRAM:
+		return "dram-fill"
+	case CausePrefetchLate:
+		return "pf-late"
+	case CauseFixed:
+		return "fixed"
+	default:
+		return "none"
+	}
+}
+
+// TraceEvent is one cycle-timestamped observation. Task and CS identify
+// the NFTask slot and control state the core was stamped with at
+// emission time (-1 when unknown, e.g. during batch receive).
+type TraceEvent struct {
+	// Cycle is the core clock at emission.
+	Cycle uint64
+	// A, B, C are kind-specific arguments (see TraceKind constants).
+	A, B, C uint64
+	// Task is the NFTask slot (see Core.SetTask).
+	Task int32
+	// CS is the control state (see Core.SetCS).
+	CS int32
+	// Kind discriminates the event.
+	Kind TraceKind
+	// Cause classifies TraceStall events.
+	Cause StallCause
+}
+
+// Tracer receives trace events synchronously on the simulation
+// goroutine. Implementations must not call back into the Core's
+// mutating API (Read, Write, Prefetch, ...); read-only queries are
+// safe. See internal/obs for the provided implementations.
+type Tracer interface {
+	Event(ev TraceEvent)
+}
+
+// SetTracer attaches t (nil detaches). Tracing is an observation-only
+// facility: with a tracer attached the simulated clock, caches and PMU
+// counters behave bit-identically to an untraced run.
+func (c *Core) SetTracer(t Tracer) { c.trc = t }
+
+// Tracer returns the attached tracer, or nil.
+func (c *Core) Tracer() Tracer { return c.trc }
+
+// SetTask stamps subsequent events with the given NFTask slot (-1 for
+// none). Runtimes call this only while a tracer is attached.
+func (c *Core) SetTask(slot int32) { c.curTask = slot }
+
+// SetCS stamps subsequent events with the given control state (-1 for
+// none). model.Program calls this only while a tracer is attached.
+func (c *Core) SetCS(cs int32) { c.curCS = cs }
+
+// Emit delivers an event stamped with the current clock, task and
+// control state. It is a no-op without a tracer; callers on hot paths
+// should guard with their own nil check to avoid constructing the
+// arguments.
+func (c *Core) Emit(kind TraceKind, cause StallCause, a, b, x uint64) {
+	if c.trc == nil {
+		return
+	}
+	c.trc.Event(TraceEvent{
+		Cycle: c.clock,
+		A:     a,
+		B:     b,
+		C:     x,
+		Task:  c.curTask,
+		CS:    c.curCS,
+		Kind:  kind,
+		Cause: cause,
+	})
+}

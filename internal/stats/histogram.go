@@ -1,0 +1,148 @@
+package stats
+
+import "math/bits"
+
+// histSubBits sets the histogram resolution: each power-of-two octave
+// is split into 2^histSubBits linear sub-buckets, bounding the relative
+// quantile error at 1/2^histSubBits (~3% at 5 bits). Values below
+// 2^histSubBits are recorded exactly.
+const histSubBits = 5
+
+// Histogram is a log-bucketed histogram of uint64 samples (HdrHistogram
+// style: linear sub-buckets within power-of-two octaves). It is cheap
+// enough for per-packet recording — Add is a shift and two adds with no
+// allocation once the bucket array has grown to cover the observed
+// range — mergeable across workers, and supports quantile extraction.
+//
+// The zero value is ready to use. A Histogram is not safe for
+// concurrent use.
+type Histogram struct {
+	counts   []uint64
+	total    uint64
+	sum      uint64
+	min, max uint64
+}
+
+// histBucket maps a sample to its bucket index.
+func histBucket(v uint64) int {
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 - histSubBits
+	return exp<<histSubBits + int(v>>uint(exp))
+}
+
+// histBucketMax returns the largest sample value mapping to bucket idx.
+func histBucketMax(idx int) uint64 {
+	if idx < 1<<histSubBits {
+		return uint64(idx)
+	}
+	exp := uint(idx>>histSubBits - 1)
+	sub := uint64(idx&(1<<histSubBits-1)) + 1<<histSubBits
+	return (sub+1)<<exp - 1
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) { h.AddN(v, 1) }
+
+// AddN records n samples of value v.
+func (h *Histogram) AddN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	idx := histBucket(v)
+	if idx >= len(h.counts) {
+		grown := make([]uint64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx] += n
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.total += n
+	h.sum += v * n
+}
+
+// Merge folds o into h. Histograms share one fixed bucket geometry, so
+// merging is element-wise addition.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if len(o.counts) > len(h.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, n := range o.counts {
+		h.counts[i] += n
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min and Max return the smallest and largest recorded samples (0 when
+// empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1):
+// the bucket ceiling of the sample at rank ceil(q*count), clamped to
+// the observed maximum. Exact for values below 2^histSubBits, within
+// 1/2^histSubBits relative error above. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	rank := uint64(q * float64(h.total))
+	if float64(rank) < q*float64(h.total) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for idx, n := range h.counts {
+		seen += n
+		if seen >= rank {
+			v := histBucketMax(idx)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

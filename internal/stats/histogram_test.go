@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExactLinearRange(t *testing.T) {
+	var h Histogram
+	for v := uint64(0); v < 32; v++ {
+		h.AddN(v, v+1)
+	}
+	if h.Count() != 32*33/2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 31 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	// Values below 2^histSubBits are recorded exactly, so quantiles in
+	// that range are exact order statistics (upper-bound convention).
+	if q := h.Quantile(1); q != 31 {
+		t.Fatalf("p100 = %d", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %d", q)
+	}
+	// Rank of value v is sum_{i<=v}(i+1); p50 over 528 samples is rank
+	// 264, which lands in value 22 (cumulative 253..275).
+	if q := h.Quantile(0.5); q != 22 {
+		t.Fatalf("p50 = %d, want 22", q)
+	}
+}
+
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	samples := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Heavy-tailed: mix of small and large values across octaves.
+		v := uint64(rng.Int63n(1 << uint(4+rng.Intn(28))))
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(q * float64(len(samples)))
+		if rank >= len(samples) {
+			rank = len(samples) - 1
+		}
+		exact := samples[rank]
+		got := h.Quantile(q)
+		// Upper-bound convention with 1/32 relative bucket width.
+		if float64(got) < float64(exact)*0.97-1 || float64(got) > float64(exact)*1.04+1 {
+			t.Fatalf("q=%v: got %d, exact %d", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	for v := uint64(1); v < 10000; v *= 3 {
+		a.Add(v)
+		both.Add(v)
+	}
+	for v := uint64(2); v < 100000; v *= 5 {
+		b.Add(v)
+		both.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Sum() != both.Sum() {
+		t.Fatalf("merge count/sum = %d/%d, want %d/%d", a.Count(), a.Sum(), both.Count(), both.Sum())
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merge min/max = %d/%d, want %d/%d", a.Min(), a.Max(), both.Min(), both.Max())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("q=%v: merged %d, direct %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := a.Count()
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Count() != before {
+		t.Fatalf("empty merge changed count")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every bucket's max value must map back to the same bucket, and
+	// bucket indexes must be monotone in the sample value.
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345} {
+		idx := histBucket(v)
+		if idx < prev {
+			t.Fatalf("bucket(%d) = %d not monotone (prev %d)", v, idx, prev)
+		}
+		prev = idx
+		if histBucket(histBucketMax(idx)) != idx {
+			t.Fatalf("bucketMax(%d) = %d maps to bucket %d", idx, histBucketMax(idx), histBucket(histBucketMax(idx)))
+		}
+		if histBucketMax(idx) < v {
+			t.Fatalf("bucketMax(%d) = %d below member %d", idx, histBucketMax(idx), v)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := NewTable("title ignored", "name", "value", "note")
+	tab.AddRow("a", "1", "plain")
+	tab.AddRow("b", "2", `comma, and "quote"`)
+	tab.AddRow("c") // short row pads empty cells
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "name,value,note\n" +
+		"a,1,plain\n" +
+		"b,2,\"comma, and \"\"quote\"\"\"\n" +
+		"c,,\n"
+	if got != want {
+		t.Fatalf("csv:\n got %q\nwant %q", got, want)
+	}
+	if strings.Contains(got, "title") {
+		t.Fatal("title must not leak into CSV")
+	}
+}
