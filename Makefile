@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench-smoke quick trace-demo
+.PHONY: build test verify bench-smoke bench-paired quick trace-demo
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,17 @@ bench-smoke:
 # runs through benchstat to compare (see EXPERIMENTS.md).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 10 ./internal/sim/ ./internal/rt/
+
+# bench-paired compares the working tree against a baseline commit with
+# the paired-minimum methodology (alternated binaries, per-side minimums
+# — see scripts/bench_paired.sh and BENCH_hotpath.json). Override knobs:
+#   make bench-paired BASE=<commit> PKG=./internal/sim/ BENCH='Benchmark.*' ROUNDS=5
+BASE ?= HEAD
+PKG ?= ./internal/rt/
+BENCH ?= BenchmarkWorkerSteadyState$$
+ROUNDS ?= 10
+bench-paired:
+	BASE=$(BASE) PKG=$(PKG) BENCH='$(BENCH)' ROUNDS=$(ROUNDS) scripts/bench_paired.sh
 
 # quick regenerates every figure with reduced populations.
 quick:

@@ -199,6 +199,9 @@ func RemoveRedundantPrefetches(p *model.Program) error {
 		}
 		info.Prefetch = kept
 	}
+	// The prefetch spans changed in place; relower the step plans so the
+	// compiled executor sees the filtered sets.
+	p.CompilePlans()
 	return nil
 }
 

@@ -37,10 +37,18 @@ const maxKicks = 500
 type Cuckoo struct {
 	region  mem.Region
 	mask    uint64
-	keys    []uint64
-	vals    []int32
-	used    []bool
+	buckets []bucket
 	entries int
+}
+
+// bucket is one 4-way bucket, padded to 64 bytes so a probe touches a
+// single host cache line — the same unit of locality the simulated
+// layout charges for.
+type bucket struct {
+	keys [slotsPerBucket]uint64
+	vals [slotsPerBucket]int32
+	used [slotsPerBucket]bool
+	_    [12]byte
 }
 
 // NewCuckoo builds a table able to hold at least capacity entries at a
@@ -54,14 +62,11 @@ func NewCuckoo(as *mem.AddressSpace, name string, capacity int) (*Cuckoo, error)
 	if buckets < 4 {
 		buckets = 4
 	}
-	n := int(buckets) * slotsPerBucket
 	base := as.Reserve(buckets*sim.LineBytes, sim.LineBytes)
 	return &Cuckoo{
-		region: mem.Region{Name: name, Base: base, Size: buckets * sim.LineBytes},
-		mask:   buckets - 1,
-		keys:   make([]uint64, n),
-		vals:   make([]int32, n),
-		used:   make([]bool, n),
+		region:  mem.Region{Name: name, Base: base, Size: buckets * sim.LineBytes},
+		mask:    buckets - 1,
+		buckets: make([]bucket, buckets),
 	}, nil
 }
 
@@ -111,9 +116,9 @@ func (c *Cuckoo) Insert(key uint64, val int32) error {
 	for kick := 0; kick < maxKicks; kick++ {
 		// Evict a pseudo-random slot of b (rotate by kick for
 		// determinism without a global RNG).
-		slot := int(b)*slotsPerBucket + kick%slotsPerBucket
-		evKey, evVal := c.keys[slot], c.vals[slot]
-		c.keys[slot], c.vals[slot] = curKey, curVal
+		bkt, slot := &c.buckets[b], kick%slotsPerBucket
+		evKey, evVal := bkt.keys[slot], bkt.vals[slot]
+		bkt.keys[slot], bkt.vals[slot] = curKey, curVal
 		curKey, curVal = evKey, evVal
 		// The evicted entry goes to its alternate bucket.
 		b1, b2 := hash1(curKey)&c.mask, hash2(curKey)&c.mask
@@ -127,22 +132,22 @@ func (c *Cuckoo) Insert(key uint64, val int32) error {
 		}
 	}
 	return fmt.Errorf("dstruct: cuckoo %s: insertion failed after %d kicks (load %d/%d)",
-		c.region.Name, maxKicks, c.entries, len(c.keys))
+		c.region.Name, maxKicks, c.entries, len(c.buckets)*slotsPerBucket)
 }
 
 func (c *Cuckoo) tryPlace(key uint64, val int32, b uint64) bool {
-	base := int(b) * slotsPerBucket
+	bkt := &c.buckets[b]
 	for s := 0; s < slotsPerBucket; s++ {
-		if c.used[base+s] && c.keys[base+s] == key {
-			c.vals[base+s] = val // update in place
+		if bkt.used[s] && bkt.keys[s] == key {
+			bkt.vals[s] = val // update in place
 			return true
 		}
 	}
 	for s := 0; s < slotsPerBucket; s++ {
-		if !c.used[base+s] {
-			c.used[base+s] = true
-			c.keys[base+s] = key
-			c.vals[base+s] = val
+		if !bkt.used[s] {
+			bkt.used[s] = true
+			bkt.keys[s] = key
+			bkt.vals[s] = val
 			c.entries++
 			return true
 		}
@@ -153,10 +158,10 @@ func (c *Cuckoo) tryPlace(key uint64, val int32, b uint64) bool {
 // Delete removes key, reporting whether it was present.
 func (c *Cuckoo) Delete(key uint64) bool {
 	for _, b := range []uint64{hash1(key) & c.mask, hash2(key) & c.mask} {
-		base := int(b) * slotsPerBucket
+		bkt := &c.buckets[b]
 		for s := 0; s < slotsPerBucket; s++ {
-			if c.used[base+s] && c.keys[base+s] == key {
-				c.used[base+s] = false
+			if bkt.used[s] && bkt.keys[s] == key {
+				bkt.used[s] = false
 				c.entries--
 				return true
 			}
@@ -168,10 +173,10 @@ func (c *Cuckoo) Delete(key uint64) bool {
 // Lookup is the un-charged control-plane lookup (tests, management).
 func (c *Cuckoo) Lookup(key uint64) (int32, bool) {
 	for _, b := range []uint64{hash1(key) & c.mask, hash2(key) & c.mask} {
-		base := int(b) * slotsPerBucket
+		bkt := &c.buckets[b]
 		for s := 0; s < slotsPerBucket; s++ {
-			if c.used[base+s] && c.keys[base+s] == key {
-				return c.vals[base+s], true
+			if bkt.used[s] && bkt.keys[s] == key {
+				return bkt.vals[s], true
 			}
 		}
 	}
@@ -197,11 +202,11 @@ func (c *Cuckoo) Begin(key uint64, cur *model.Cursor) {
 func (c *Cuckoo) CheckStep(cur *model.Cursor) (done bool) {
 	key := cur.Aux[0]
 	b := (cur.Addr - c.region.Base) / sim.LineBytes
-	base := int(b) * slotsPerBucket
+	bkt := &c.buckets[b&c.mask]
 	for s := 0; s < slotsPerBucket; s++ {
-		if c.used[base+s] && c.keys[base+s] == key {
+		if bkt.used[s] && bkt.keys[s] == key {
 			cur.Ok = true
-			cur.Idx = c.vals[base+s]
+			cur.Idx = bkt.vals[s]
 			return true
 		}
 	}

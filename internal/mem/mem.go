@@ -109,6 +109,21 @@ func (p *Pool) MustAddr(i int) uint64 {
 	return a
 }
 
+// AddrAt is the hot-path form of MustAddr: a single bounds check that
+// the compiler can inline at the call site, with the panic outlined.
+// Semantics are identical to MustAddr (panic on an out-of-range index).
+func (p *Pool) AddrAt(i int32) uint64 {
+	if i < 0 || int(i) >= p.count {
+		p.badIndex(i)
+	}
+	return p.region.Base + uint64(i)*p.entrySize
+}
+
+//go:noinline
+func (p *Pool) badIndex(i int32) {
+	panic(fmt.Errorf("mem: pool %s: index %d out of range [0,%d)", p.region.Name, i, p.count))
+}
+
 // EntrySize returns the padded per-entry size in bytes.
 func (p *Pool) EntrySize() uint64 { return p.entrySize }
 

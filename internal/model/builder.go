@@ -291,5 +291,6 @@ func (b *Builder) Build() (*Program, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	p.CompilePlans()
 	return p, nil
 }

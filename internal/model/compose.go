@@ -149,6 +149,7 @@ func composeSequential(name string, p1, p2 *Program) (*Program, error) {
 	if err := out.Validate(); err != nil {
 		return nil, fmt.Errorf("model: compose %s: %w", name, err)
 	}
+	out.CompilePlans()
 	return out, nil
 }
 
@@ -283,6 +284,7 @@ func composeLockstep(name string, p1, p2 *Program) (*Program, error) {
 	if err := out.Validate(); err != nil {
 		return nil, fmt.Errorf("model: compose %s: %w", name, err)
 	}
+	out.CompilePlans()
 	return out, nil
 }
 

@@ -71,6 +71,12 @@ type Exec struct {
 	Prefetched bool
 	// Done reports stream completion (CS reached End).
 	Done bool
+	// bases is the compiled executors' base-table scratch (see
+	// plan.go). It lives here so each phase fills only the entries its
+	// mask names instead of zeroing a fresh table: entry pbStatic is
+	// never written and stays zero, and stale entries are never read
+	// because every op's base index is covered by its phase's mask.
+	bases [8]uint64
 }
 
 // ResetStream prepares the context for a new packet at the program's

@@ -1,0 +1,430 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+// This file is the step-plan compiler: it lowers each CSInfo, once at
+// program-build time, into a flat stepPlan the hot path executes without
+// re-interpreting span tables. Three things are compiled away:
+//
+//   - Per-span base resolution. Resolve() runs a switch on the span's
+//     BaseKind and (for pool bases) a bounds-checked pool lookup on
+//     every access of every visit. The plan pre-splits spans by base:
+//     each access becomes a (base-table index, pre-added offset) pair,
+//     the per-phase base table is materialized once per phase (reads
+//     resolve before the action, writes after — an action may rebind
+//     FlowIdx or the cursor), and statically-resolvable bases (control
+//     regions) are folded into the offset entirely.
+//
+//   - Prefetch line decomposition. Core.Prefetch(addr, size) re-derives
+//     the covered lines on every issue. For spans whose base is provably
+//     line-aligned at compile time (pools pad entries to the line grid;
+//     control regions are line-aligned by reservation), the plan stores
+//     the finished line list and issues Core.PrefetchLine per entry.
+//
+//   - Residency checks. ResidentCurrent's span loop becomes the same
+//     pre-resolved line list probed through the core's exact L1 index.
+//
+// The lowering is a pure representation change: the simulated access
+// sequence — every (addr, size, read/write/prefetch, cycle) the core is
+// charged with — is byte-for-byte the sequence the interpreted executor
+// issues. No access is deduplicated, reordered, split or merged. The
+// differential-replay harness (plandiff_test.go) asserts this against
+// randomized programs; the golden-counter tests in internal/exp pin it
+// for the shipped NFs.
+
+// Base-table indexes of a compiled access. pbStatic entries carry their
+// full address in the offset (the table slot stays zero); the rest are
+// filled per phase from the execution context.
+const (
+	pbStatic = iota
+	pbPerFlow
+	pbSubFlow
+	pbPacket
+	pbTemp
+	pbDynamic
+	pbCount
+)
+
+// stepPlan is one control state lowered for execution. Ops use the
+// core's compiled-access types (sim.PlanOp, sim.FetchOp) so whole op
+// lists execute core-side in one call per phase. The action's function
+// and cost are copied in so a step never touches the action table, and
+// all plans' op slices share two contiguous backing arrays (see
+// CompilePlans) so walking a plan streams through memory.
+type stepPlan struct {
+	reads  []sim.PlanOp
+	writes []sim.PlanOp
+	fetch  []sim.FetchOp
+	// readMask/writeMask/fetchMask say which base-table entries the
+	// phase needs materialized (bit i = base index i).
+	readMask  uint8
+	writeMask uint8
+	fetchMask uint8
+	action    ActionID
+	cost      uint64
+	fn        ActionFunc
+	// next aliases the CSInfo transition table.
+	next []CSID
+	bind *Binding
+}
+
+// CompilePlans (re)lowers every control state into its step plan. Build
+// and Compose call it automatically; compiler passes that mutate a
+// CSInfo's span sets after build (e.g. redundant-prefetch removal) must
+// call it again, or the Program will keep executing the stale plans.
+func (p *Program) CompilePlans() {
+	plans := make([]stepPlan, len(p.cs))
+	// All plans' ops live in two shared backing arrays, appended in CS
+	// order, so consecutive steps walk contiguous memory instead of
+	// per-CS allocations. Capacities are counted up front so the arrays
+	// never reallocate under the subslices handed to the plans.
+	nOps, nFetch := 0, 0
+	for i := 1; i < len(p.cs); i++ {
+		info := &p.cs[i]
+		nOps += len(info.Reads) + len(info.Writes)
+		nFetch += fetchLen(info.Prefetch, info.Bind)
+	}
+	allOps := make([]sim.PlanOp, 0, nOps)
+	allFetch := make([]sim.FetchOp, 0, nFetch)
+	for i := 1; i < len(p.cs); i++ {
+		info := &p.cs[i]
+		pl := &plans[i]
+		pl.action = info.Action
+		pl.cost = p.actions[info.Action].Cost
+		pl.fn = p.actions[info.Action].Fn
+		pl.next = info.Next
+		pl.bind = info.Bind
+		allOps, pl.reads, pl.readMask = lowerOps(allOps, info.Reads, info.Bind)
+		allOps, pl.writes, pl.writeMask = lowerOps(allOps, info.Writes, info.Bind)
+		allFetch, pl.fetch, pl.fetchMask = lowerFetch(allFetch, info.Prefetch, info.Bind)
+	}
+	p.plans = plans
+}
+
+// lowerBase maps a span onto its base-table index and pre-added offset.
+func lowerBase(s Span, bind *Binding) (base uint8, off uint64) {
+	switch s.Base {
+	case BasePerFlow:
+		return pbPerFlow, s.Off
+	case BaseSubFlow:
+		return pbSubFlow, s.Off
+	case BasePacket:
+		return pbPacket, s.Off
+	case BaseControl:
+		// Statically resolvable: fold the region base into the offset.
+		return pbStatic, bind.Control.Base + s.Off
+	case BaseTemp:
+		return pbTemp, s.Off
+	case BaseDynamic:
+		return pbDynamic, s.Off
+	default:
+		// Defer the failure to execution time, where Resolve produces
+		// the historical diagnostic.
+		return pbStatic, 0
+	}
+}
+
+// maskBit returns the base-table fill bit for an access. pbStatic needs
+// no fill (bases[pbStatic] is always zero).
+func maskBit(base uint8) uint8 {
+	if base == pbStatic {
+		return 0
+	}
+	return 1 << base
+}
+
+// lowerOps compiles a read or write span list, appending onto the
+// shared backing array and returning it plus the capped subslice
+// holding this list's ops.
+func lowerOps(dst []sim.PlanOp, spans []Span, bind *Binding) ([]sim.PlanOp, []sim.PlanOp, uint8) {
+	if len(spans) == 0 {
+		return dst, nil, 0
+	}
+	start := len(dst)
+	var mask uint8
+	for _, s := range spans {
+		base, off := lowerBase(s, bind)
+		dst = append(dst, sim.PlanOp{Off: off, Size: s.Size, Base: base})
+		mask |= maskBit(base)
+	}
+	return dst, dst[start:len(dst):len(dst)], mask
+}
+
+// alignedBase reports whether every address the base can resolve to is
+// provably line-aligned at compile time, which is what licenses
+// decomposing a span into pre-resolved lines: for aligned bases,
+// (base+off)/Line == base/Line + off/Line, so the compile-time line
+// walk enumerates exactly the lines Core.Prefetch would.
+func alignedBase(base uint8, bind *Binding) bool {
+	switch base {
+	case pbStatic:
+		return true // offsets are absolute; lines computed directly
+	case pbPerFlow:
+		return poolAligned(bind.PerFlow)
+	case pbSubFlow:
+		return poolAligned(bind.SubFlow)
+	default:
+		// Packet, temp and dynamic bases are runtime values with no
+		// compile-time alignment guarantee.
+		return false
+	}
+}
+
+func poolAligned(p *mem.Pool) bool {
+	return p != nil && p.Region().Base%sim.LineBytes == 0 && p.EntrySize()%sim.LineBytes == 0
+}
+
+// lowerFetch compiles a prefetch plan: aligned spans expand into their
+// line lists (ascending, matching Core.Prefetch's walk), the rest stay
+// span ops. Order across spans is preserved exactly. Ops append onto
+// the shared backing array; the capped subslice holds this plan's ops.
+func lowerFetch(dst []sim.FetchOp, spans []Span, bind *Binding) ([]sim.FetchOp, []sim.FetchOp, uint8) {
+	if len(spans) == 0 {
+		return dst, nil, 0
+	}
+	start := len(dst)
+	var mask uint8
+	for _, s := range spans {
+		base, off := lowerBase(s, bind)
+		mask |= maskBit(base)
+		if s.Size == 0 || !alignedBase(base, bind) {
+			dst = append(dst, sim.FetchOp{Off: off, Size: s.Size, Base: base})
+			continue
+		}
+		first := off >> lineShift
+		last := (off + s.Size - 1) >> lineShift
+		for line := first; line <= last; line++ {
+			dst = append(dst, sim.FetchOp{Off: line << lineShift, Base: base, Line: true})
+		}
+	}
+	return dst, dst[start:len(dst):len(dst)], mask
+}
+
+// fetchLen counts the ops lowerFetch will emit for spans, for the
+// backing-array capacity precompute.
+func fetchLen(spans []Span, bind *Binding) int {
+	n := 0
+	for _, s := range spans {
+		base, off := lowerBase(s, bind)
+		if s.Size == 0 || !alignedBase(base, bind) {
+			n++
+			continue
+		}
+		n += int(((off+s.Size-1)>>lineShift)-(off>>lineShift)) + 1
+	}
+	return n
+}
+
+// lineShift is log2(sim.LineBytes).
+const lineShift = 6
+
+// planBases materializes the base table for one phase into the Exec's
+// persistent scratch. Only the bases the phase's mask names are
+// resolved, so a control state that never touches per-flow state never
+// evaluates the (possibly still unmatched) flow index — the same
+// laziness the per-span Resolve switch had. Entries outside the mask
+// keep whatever a previous phase left (no zeroing): no op reads them,
+// and the always-zero pbStatic entry is never written.
+func planBases(e *Exec, bind *Binding, mask uint8) *[8]uint64 {
+	bases := &e.bases
+	if mask&(1<<pbPerFlow) != 0 {
+		bases[pbPerFlow] = bind.PerFlow.AddrAt(e.FlowIdx)
+	}
+	if mask&(1<<pbSubFlow) != 0 {
+		bases[pbSubFlow] = bind.SubFlow.AddrAt(e.SubIdx)
+	}
+	if mask&(1<<pbPacket) != 0 {
+		bases[pbPacket] = e.Pkt.Addr
+	}
+	if mask&(1<<pbTemp) != 0 {
+		bases[pbTemp] = e.TempAddr
+	}
+	if mask&(1<<pbDynamic) != 0 {
+		bases[pbDynamic] = e.Cur.Addr
+	}
+	return bases
+}
+
+// stepCompiled executes one control state through its plan: charge the
+// reads, run the action, charge the writes, take the transition —
+// the same operation sequence as stepInterpreted, with address
+// resolution reduced to one add per access and each phase's op list
+// executed core-side in a single call. The base-table fills are
+// spelled out inline (see planBases, kept in sync) because the
+// materialization sits on the hottest loop in the repository and must
+// not pay a call per phase.
+func (p *Program) stepCompiled(e *Exec, pl *stepPlan) error {
+	core := e.Core
+	before := core.Now()
+	if ops := pl.reads; len(ops) > 0 {
+		bases := &e.bases
+		m := pl.readMask
+		bind := pl.bind
+		if m&(1<<pbPerFlow) != 0 {
+			bases[pbPerFlow] = bind.PerFlow.AddrAt(e.FlowIdx)
+		}
+		if m&(1<<pbSubFlow) != 0 {
+			bases[pbSubFlow] = bind.SubFlow.AddrAt(e.SubIdx)
+		}
+		if m&(1<<pbPacket) != 0 {
+			bases[pbPacket] = e.Pkt.Addr
+		}
+		if m&(1<<pbTemp) != 0 {
+			bases[pbTemp] = e.TempAddr
+		}
+		if m&(1<<pbDynamic) != 0 {
+			bases[pbDynamic] = e.Cur.Addr
+		}
+		core.ReadSpans(bases, ops)
+	}
+	afterReads := core.Now()
+
+	core.Compute(pl.cost)
+	ev := pl.fn(e)
+
+	preWrites := core.Now()
+	if ops := pl.writes; len(ops) > 0 {
+		bases := &e.bases
+		m := pl.writeMask
+		bind := pl.bind
+		if m&(1<<pbPerFlow) != 0 {
+			bases[pbPerFlow] = bind.PerFlow.AddrAt(e.FlowIdx)
+		}
+		if m&(1<<pbSubFlow) != 0 {
+			bases[pbSubFlow] = bind.SubFlow.AddrAt(e.SubIdx)
+		}
+		if m&(1<<pbPacket) != 0 {
+			bases[pbPacket] = e.Pkt.Addr
+		}
+		if m&(1<<pbTemp) != 0 {
+			bases[pbTemp] = e.TempAddr
+		}
+		if m&(1<<pbDynamic) != 0 {
+			bases[pbDynamic] = e.Cur.Addr
+		}
+		core.WriteSpans(bases, ops)
+	}
+	e.AccessCycles += (afterReads - before) + (core.Now() - preWrites)
+
+	if ev <= EvInvalid || int(ev) >= len(pl.next) {
+		return p.stepEventErr(e, ev)
+	}
+	next := pl.next[ev]
+	if next < 0 {
+		return p.stepTransitionErr(e, ev)
+	}
+	e.CS = next
+	e.Prefetched = false
+	if next == CSEnd {
+		e.Done = true
+	}
+	return nil
+}
+
+// prefetchCompiled issues the pre-resolved prefetch plan. The negative
+// miss index tells IssueFetch the caller has no residency knowledge:
+// every line takes the full probing path, exactly like PrefetchLine.
+func (p *Program) prefetchCompiled(e *Exec, pl *stepPlan) {
+	if len(pl.fetch) == 0 {
+		return
+	}
+	e.Core.IssueFetch(planBases(e, pl.bind, pl.fetchMask), pl.fetch, -1)
+}
+
+// residentCompiled is the exact P-state check: every plan line probed
+// through the core's L1 residency index.
+func (p *Program) residentCompiled(e *Exec, pl *stepPlan) bool {
+	if len(pl.fetch) == 0 {
+		return true
+	}
+	return e.Core.FirstNonResident(planBases(e, pl.bind, pl.fetchMask), pl.fetch) < 0
+}
+
+// EnsurePrefetched fuses the scheduler's P-state maintenance visit: it
+// verifies the current control state's plan lines are L1-resident and,
+// when they are not, issues the full prefetch plan (all lines, resident
+// or not — exactly what PrefetchCurrent does). It returns true when the
+// task can execute immediately and false when the scheduler should
+// switch away while the fills land. Either way the P-state is set.
+//
+// The fusion resolves the plan's base table once for both the check and
+// the issue; the simulated sequence is identical to ResidentCurrent
+// followed (on failure) by PrefetchCurrent, because residency probes
+// charge nothing.
+func (p *Program) EnsurePrefetched(e *Exec) bool {
+	if e.CS == CSEnd {
+		e.Prefetched = true
+		return true
+	}
+	if p.plans == nil {
+		// Hand-built program without compiled plans: take the unfused pair.
+		if p.ResidentCurrent(e) {
+			e.Prefetched = true
+			return true
+		}
+		p.PrefetchCurrent(e)
+		return false
+	}
+	pl := &p.plans[e.CS]
+	e.Prefetched = true
+	if len(pl.fetch) == 0 {
+		return true
+	}
+	core := e.Core
+	// Inline base fill — see stepCompiled for why.
+	bases := &e.bases
+	m := pl.fetchMask
+	bind := pl.bind
+	if m&(1<<pbPerFlow) != 0 {
+		bases[pbPerFlow] = bind.PerFlow.AddrAt(e.FlowIdx)
+	}
+	if m&(1<<pbSubFlow) != 0 {
+		bases[pbSubFlow] = bind.SubFlow.AddrAt(e.SubIdx)
+	}
+	if m&(1<<pbPacket) != 0 {
+		bases[pbPacket] = e.Pkt.Addr
+	}
+	if m&(1<<pbTemp) != 0 {
+		bases[pbTemp] = e.TempAddr
+	}
+	if m&(1<<pbDynamic) != 0 {
+		bases[pbDynamic] = e.Cur.Addr
+	}
+	miss := core.FirstNonResident(bases, pl.fetch)
+	if miss < 0 {
+		return true
+	}
+	if core.Tracer() != nil {
+		// Stamp prefetch events with the CS they are fetching for.
+		core.SetCS(int32(e.CS))
+	}
+	// The issue reuses what the check just proved (see IssueFetch): ops
+	// before miss are still resident, op miss is still absent, and the
+	// charged sequence is identical to issuing the whole plan blind.
+	core.IssueFetch(bases, pl.fetch, miss)
+	return false
+}
+
+// stepEventErr builds the unknown-event diagnostic off the hot path,
+// matching the interpreted executor's message exactly.
+//
+//go:noinline
+func (p *Program) stepEventErr(e *Exec, ev EventID) error {
+	info := &p.cs[e.CS]
+	act := &p.actions[info.Action]
+	return fmt.Errorf("model: %s: action %s returned unknown event %d", info.Name, act.Name, ev)
+}
+
+// stepTransitionErr builds the missing-transition diagnostic off the
+// hot path, matching the interpreted executor's message exactly.
+//
+//go:noinline
+func (p *Program) stepTransitionErr(e *Exec, ev EventID) error {
+	info := &p.cs[e.CS]
+	return fmt.Errorf("model: %s: no transition for event %q", info.Name, p.EventName(ev))
+}

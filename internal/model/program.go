@@ -65,6 +65,11 @@ type Program struct {
 	// tempLines is the number of cache lines of per-task scratch the
 	// program requires (the NFTask temp field allocation).
 	tempLines int
+	// plans holds each control state lowered into its compiled step plan
+	// (see plan.go); indexed by CSID, entry 0 (End) unused. Compiler
+	// passes that mutate CSInfo span sets via CS() must re-run
+	// CompilePlans afterwards.
+	plans []stepPlan
 }
 
 // Name returns the program name.
@@ -156,16 +161,44 @@ func Resolve(s Span, bind *Binding, e *Exec) uint64 {
 // transition for the returned event. It implements the ActionExecutor +
 // Transition steps of the paper's Algorithm 1 and is shared by both the
 // interleaved runtime and the RTC baseline.
+//
+// Untraced execution runs through the compiled step plan (plan.go);
+// attaching a tracer routes to the interpreted traced twin, which emits
+// per-span attribution events. Both issue the identical simulated
+// access sequence.
 func (p *Program) Step(e *Exec) error {
 	if e.CS == CSEnd {
 		e.Done = true
 		return nil
 	}
-	info := &p.cs[e.CS]
 	core := e.Core
 	if core.Tracer() != nil {
-		return p.stepTraced(e, info)
+		return p.stepTraced(e, &p.cs[e.CS])
 	}
+	if p.plans != nil {
+		return p.stepCompiled(e, &p.plans[e.CS])
+	}
+	return p.stepInterpreted(e)
+}
+
+// StepInterpreted is the span-interpreting reference executor: the
+// original Step body, kept as the behavioral oracle the
+// differential-replay harness compares the compiled plan path against.
+// Production callers should use Step.
+func (p *Program) StepInterpreted(e *Exec) error {
+	if e.CS == CSEnd {
+		e.Done = true
+		return nil
+	}
+	if e.Core.Tracer() != nil {
+		return p.stepTraced(e, &p.cs[e.CS])
+	}
+	return p.stepInterpreted(e)
+}
+
+func (p *Program) stepInterpreted(e *Exec) error {
+	info := &p.cs[e.CS]
+	core := e.Core
 
 	before := core.Now()
 	for _, s := range info.Reads {
@@ -250,21 +283,45 @@ func (p *Program) stepTraced(e *Exec, info *CSInfo) error {
 }
 
 // PrefetchCurrent issues prefetches for the current CS's prefetch plan —
-// the Prefetch step of Algorithm 1 — and marks the P-state.
+// the Prefetch step of Algorithm 1 — and marks the P-state. The plan
+// path is taken even under tracing: prefetch trace events are emitted
+// per line inside the core, so pre-resolved line issue is trace-safe.
 func (p *Program) PrefetchCurrent(e *Exec) {
 	if e.CS == CSEnd {
 		e.Prefetched = true
 		return
 	}
-	info := &p.cs[e.CS]
 	if e.Core.Tracer() != nil {
 		// Stamp prefetch events with the CS they are fetching for.
 		e.Core.SetCS(int32(e.CS))
 	}
+	if p.plans != nil {
+		p.prefetchCompiled(e, &p.plans[e.CS])
+	} else {
+		p.prefetchInterpreted(e)
+	}
+	e.Prefetched = true
+}
+
+// PrefetchCurrentInterpreted is the span-interpreting reference twin of
+// PrefetchCurrent, kept for differential replay.
+func (p *Program) PrefetchCurrentInterpreted(e *Exec) {
+	if e.CS == CSEnd {
+		e.Prefetched = true
+		return
+	}
+	if e.Core.Tracer() != nil {
+		e.Core.SetCS(int32(e.CS))
+	}
+	p.prefetchInterpreted(e)
+	e.Prefetched = true
+}
+
+func (p *Program) prefetchInterpreted(e *Exec) {
+	info := &p.cs[e.CS]
 	for _, s := range info.Prefetch {
 		e.Core.Prefetch(Resolve(s, info.Bind, e), s.Size)
 	}
-	e.Prefetched = true
 }
 
 // ResidentCurrent reports whether every span the current CS will access
@@ -274,6 +331,22 @@ func (p *Program) ResidentCurrent(e *Exec) bool {
 	if e.CS == CSEnd {
 		return true
 	}
+	if p.plans != nil {
+		return p.residentCompiled(e, &p.plans[e.CS])
+	}
+	return p.residentInterpreted(e)
+}
+
+// ResidentCurrentInterpreted is the span-interpreting reference twin of
+// ResidentCurrent, kept for differential replay.
+func (p *Program) ResidentCurrentInterpreted(e *Exec) bool {
+	if e.CS == CSEnd {
+		return true
+	}
+	return p.residentInterpreted(e)
+}
+
+func (p *Program) residentInterpreted(e *Exec) bool {
 	info := &p.cs[e.CS]
 	for _, s := range info.Prefetch {
 		if !e.Core.ResidentL1(Resolve(s, info.Bind, e), s.Size) {

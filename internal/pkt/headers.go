@@ -105,6 +105,25 @@ func ipv4Checksum(hdr []byte) uint16 {
 	return ^uint16(sum)
 }
 
+// ipv4Incremental folds a header edit into a stored checksum (RFC 1624
+// method): delta is the sum of the ones-complements of the replaced
+// 16-bit words plus the sum of their replacements. The result is
+// byte-identical to a full ipv4Checksum recompute: both reduce the
+// header sum modulo 0xffff, and since a real header's sum is never zero
+// (the version/IHL word alone is 0x45xx), the full recompute always
+// picks the 0xffff representative of residue zero — the guard below
+// makes the incremental path pick the same one.
+func ipv4Incremental(stored uint16, delta uint32) uint16 {
+	sum := uint32(^stored) + delta
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	if sum == 0 {
+		sum = 0xffff
+	}
+	return ^uint16(sum)
+}
+
 // EncodeUDP writes an 8-byte UDP header (checksum left zero, as
 // permitted for IPv4 and typical for GTP-U fast paths).
 func EncodeUDP(b []byte, src, dst uint16, length uint16) error {
@@ -204,9 +223,12 @@ func (p *Packet) RewriteNAT(newIP uint32, newPort uint16) error {
 	if len(b) < EthLen+IPv4Len+4 {
 		return fmt.Errorf("pkt: frame too short for NAT rewrite")
 	}
+	delta := uint32(^binary.BigEndian.Uint16(b[EthLen+12:EthLen+14])) +
+		uint32(^binary.BigEndian.Uint16(b[EthLen+14:EthLen+16])) +
+		(newIP >> 16) + (newIP & 0xffff)
+	stored := binary.BigEndian.Uint16(b[EthLen+10 : EthLen+12])
 	binary.BigEndian.PutUint32(b[EthLen+12:EthLen+16], newIP)
-	binary.BigEndian.PutUint16(b[EthLen+10:EthLen+12], 0)
-	binary.BigEndian.PutUint16(b[EthLen+10:EthLen+12], ipv4Checksum(b[EthLen:EthLen+IPv4Len]))
+	binary.BigEndian.PutUint16(b[EthLen+10:EthLen+12], ipv4Incremental(stored, delta))
 	binary.BigEndian.PutUint16(b[EthLen+IPv4Len:EthLen+IPv4Len+2], newPort)
 	p.Tuple.SrcIP = newIP
 	p.Tuple.SrcPort = newPort
@@ -224,8 +246,10 @@ func (p *Packet) DecTTL() (bool, error) {
 	if ttl <= 1 {
 		return false, nil
 	}
+	old := uint16(ttl)<<8 | uint16(b[EthLen+9])
 	b[EthLen+8] = ttl - 1
-	binary.BigEndian.PutUint16(b[EthLen+10:EthLen+12], 0)
-	binary.BigEndian.PutUint16(b[EthLen+10:EthLen+12], ipv4Checksum(b[EthLen:EthLen+IPv4Len]))
+	delta := uint32(^old) + uint32(uint16(ttl-1)<<8|uint16(b[EthLen+9]))
+	stored := binary.BigEndian.Uint16(b[EthLen+10 : EthLen+12])
+	binary.BigEndian.PutUint16(b[EthLen+10:EthLen+12], ipv4Incremental(stored, delta))
 	return true, nil
 }

@@ -263,3 +263,36 @@ func TestParseProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestIncrementalChecksumMatchesRecompute drives randomized NAT and TTL
+// rewrites and asserts the incrementally-updated checksum is
+// byte-identical to a full recompute of the edited header.
+func TestIncrementalChecksumMatchesRecompute(t *testing.T) {
+	prop := func(srcIP, dstIP, newIP uint32, srcPort, dstPort, newPort uint16, ttl uint8) bool {
+		tuple := FiveTuple{SrcIP: srcIP, DstIP: dstIP, SrcPort: srcPort, DstPort: dstPort, Proto: ProtoUDP}
+		p := &Packet{Data: buildUDPFrame(t, tuple, 16)}
+		if ttl != 0 {
+			// Vary the TTL so the DecTTL word differs across cases.
+			p.Data[EthLen+8] = ttl
+			binary.BigEndian.PutUint16(p.Data[EthLen+10:EthLen+12], 0)
+			binary.BigEndian.PutUint16(p.Data[EthLen+10:EthLen+12],
+				ipv4Checksum(p.Data[EthLen:EthLen+IPv4Len]))
+		}
+		if err := p.RewriteNAT(newIP, newPort); err != nil {
+			return false
+		}
+		hdr := p.Data[EthLen : EthLen+IPv4Len]
+		if binary.BigEndian.Uint16(hdr[10:12]) != ipv4Checksum(hdr) {
+			return false
+		}
+		if ok, err := p.DecTTL(); err != nil {
+			return false
+		} else if ok && binary.BigEndian.Uint16(hdr[10:12]) != ipv4Checksum(hdr) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package rt_test
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/gunfu-nfv/gunfu/internal/mem"
@@ -289,5 +290,26 @@ func TestAggregateEmpty(t *testing.T) {
 	agg := rt.Aggregate(nil)
 	if agg.Packets != 0 || agg.Gbps() != 0 {
 		t.Fatalf("empty aggregate = %+v", agg)
+	}
+}
+
+func TestRingGuardRejectsWrappableSlots(t *testing.T) {
+	prog, _ := buildNAT(t, 16)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One slot short of Tasks+Batch: a wrapped ring slot could be
+	// overwritten while an in-flight task still points at it.
+	bad := rt.Config{Tasks: 16, Batch: 32, RingSlots: 47, SlotBytes: 2048}
+	if _, err := rt.NewWorker(core, mem.NewAddressSpace(), prog, bad); err == nil {
+		t.Fatalf("RingSlots %d < Tasks+Batch accepted", bad.RingSlots)
+	} else if !strings.Contains(err.Error(), "RingSlots") {
+		t.Fatalf("ring guard error does not name RingSlots: %v", err)
+	}
+	// The boundary is safe: exactly Tasks+Batch slots must be accepted.
+	ok := rt.Config{Tasks: 16, Batch: 32, RingSlots: 48, SlotBytes: 2048}
+	if _, err := rt.NewWorker(core, mem.NewAddressSpace(), prog, ok); err != nil {
+		t.Fatalf("boundary config rejected: %v", err)
 	}
 }

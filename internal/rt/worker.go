@@ -75,6 +75,15 @@ func (c Config) validate() error {
 	if c.RingSlots <= 0 || c.SlotBytes == 0 {
 		return fmt.Errorf("rt: ring geometry must be positive")
 	}
+	if c.RingSlots < c.Tasks+c.Batch {
+		// A slot can be reassigned to a new rx packet while an in-flight
+		// NFTask still points at it: up to Tasks packets are live in the
+		// scheduler and up to Batch more are staged by receive, so the
+		// ring must cover both before any sequence number wraps onto a
+		// slot that is still referenced.
+		return fmt.Errorf("rt: RingSlots (%d) must be >= Tasks+Batch (%d): a wrapped slot could be overwritten while an in-flight task still points at it",
+			c.RingSlots, c.Tasks+c.Batch)
+	}
 	return nil
 }
 
@@ -133,11 +142,14 @@ func (r Result) MissesPerPacket() (l1, l2, llc float64) {
 
 // Worker executes a Program on one simulated core.
 type Worker struct {
-	core  *sim.Core
-	prog  *model.Program
-	cfg   Config
-	ring  *pkt.Ring
-	tasks []*model.Exec
+	core *sim.Core
+	prog *model.Program
+	cfg  Config
+	ring *pkt.Ring
+	// tasks is a contiguous value array: the scheduler walks Execs all
+	// day, and adjacency keeps the visited contexts dense in the host's
+	// own cache instead of chasing per-task allocations.
+	tasks []model.Exec
 	seq   uint64
 	// batch is the reusable rx burst buffer: allocated once, refilled
 	// by every receive call, so steady state allocates nothing.
@@ -166,13 +178,13 @@ func NewWorker(core *sim.Core, as *mem.AddressSpace, prog *model.Program, cfg Co
 		prog:     prog,
 		cfg:      cfg,
 		ring:     ring,
-		tasks:    make([]*model.Exec, cfg.Tasks),
+		tasks:    make([]model.Exec, cfg.Tasks),
 		batch:    make([]*pkt.Packet, 0, cfg.Batch),
 		ringNext: make([]int32, cfg.Tasks),
 	}
 	tempSize := uint64(prog.TempLines()) * sim.LineBytes
 	for i := range w.tasks {
-		w.tasks[i] = &model.Exec{
+		w.tasks[i] = model.Exec{
 			Core:     core,
 			TempAddr: as.Reserve(tempSize, sim.LineBytes),
 			Done:     true, // idle until a packet is loaded
@@ -250,11 +262,11 @@ func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
 		// scheduler ring.
 		next := 0
 		active := 0
-		for _, t := range w.tasks {
+		for i := range w.tasks {
 			if next >= len(batch) {
 				break
 			}
-			t.ResetStream(batch[next], w.prog.Start(), w.seq)
+			w.tasks[i].ResetStream(batch[next], w.prog.Start(), w.seq)
 			next++
 			active++
 		}
@@ -272,10 +284,19 @@ func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
 			if traced {
 				w.core.SetTask(cur)
 			}
-			t := w.tasks[cur]
+			t := &w.tasks[cur]
 			if w.cfg.Prefetch && !t.Prefetched {
-				if w.cfg.ResidentCheck && w.prog.ResidentCurrent(t) {
-					t.Prefetched = true
+				if w.cfg.ResidentCheck {
+					// Fused P-state visit: one base resolution covers both
+					// the residency probe and (on a miss) the prefetch
+					// issue. The simulated sequence is identical to
+					// ResidentCurrent followed by PrefetchCurrent.
+					if !w.prog.EnsurePrefetched(t) {
+						w.core.TaskSwitch()
+						prev = cur
+						cur = w.ringNext[cur]
+						continue
+					}
 				} else {
 					w.prog.PrefetchCurrent(t)
 					w.core.TaskSwitch()

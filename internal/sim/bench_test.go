@@ -21,7 +21,7 @@ func benchCore(b *testing.B) *Core {
 // BenchmarkCacheLookup measures the raw tag-scan kernel on a warm L1
 // set: the single most executed loop in the simulator.
 func BenchmarkCacheLookup(b *testing.B) {
-	c := newCache(DefaultConfig().L1)
+	c := newCache(DefaultConfig().L1, true)
 	// Fill a handful of sets so lookups traverse realistic occupancy.
 	lines := make([]uint64, 64)
 	for i := range lines {
@@ -97,5 +97,28 @@ func BenchmarkResidentL1(b *testing.B) {
 	}
 	if !ok {
 		b.Fatal("warm line not resident")
+	}
+}
+
+// BenchmarkResidentCheck measures the compiled-plan P-state probe: a
+// FirstNonResident pass over a fully resident fetch plan, the question
+// the interleaved scheduler asks before every action.
+func BenchmarkResidentCheck(b *testing.B) {
+	c := benchCore(b)
+	var bases [8]uint64
+	ops := make([]FetchOp, 4)
+	for i := range ops {
+		addr := uint64(1<<20) + uint64(i)*LineBytes
+		c.Read(addr, 8)
+		ops[i] = FetchOp{Off: addr, Size: LineBytes, Line: true}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	miss := -1
+	for i := 0; i < b.N; i++ {
+		miss = c.FirstNonResident(&bases, ops)
+	}
+	if miss != -1 {
+		b.Fatalf("warm plan reported miss at %d", miss)
 	}
 }

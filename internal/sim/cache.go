@@ -9,11 +9,38 @@ package sim
 // the set index — the rest is implied by the set), so a full 16-way
 // set's tags fit in one host cache line and the scan kernels walk
 // contiguous memory. The per-way LRU stamp and fill bookkeeping live in
-// a parallel meta array touched only on hits, installs and the full-set
-// LRU pass. A small per-set hint table remembers recent hit ways and is
-// probed before any scan. None of this changes simulated behavior: a
-// line occupies at most one way of its set, so whichever order ways are
-// probed in, the same slot is found.
+// parallel meta arrays touched only on hits, installs and the full-set
+// LRU pass.
+//
+// Lookups go through a shortcut table probed before any scan, chosen
+// per level at construction:
+//
+//   - exact levels (the L1): a line→slot shadow index keyed by a full
+//     line hash, verified against the per-slot line number, written on
+//     every install and self-healed on every scan hit. A verified
+//     shadow hit is exact (slot s holds line iff lines[s] == line<<1|1,
+//     validity packed into the value), so the L1 hit path and residency
+//     probes — the
+//     scheduler's most frequent questions — are one load-and-compare
+//     with no way scan. Only shadow collisions and true misses fall to
+//     the dense set scan. The shadow needs no maintenance on eviction:
+//     a stale entry fails verification and is overwritten by the next
+//     install or scan hit. Sized at 4× the line capacity (8 KiB for the
+//     default 32 KiB L1), it stays hot in the host's own cache.
+//
+//   - scanned levels (L2, LLC): a dense tag scan of the line's set,
+//     nothing else. A full set's compact tags fit one host cache line
+//     and the scan exits early at the first invalid way, so the probe
+//     costs a single host memory touch. The bigger levels see far fewer
+//     probes (only L1 misses reach them), their probes are mostly cold
+//     (random sets), and at their size any line-keyed shadow or per-set
+//     hint table just adds a second host miss per probe — measurably
+//     slower than the bare scan.
+//
+// Neither shortcut changes simulated behavior: a line occupies at most
+// one way of its set, so however the slot is found it is the same slot
+// a full scan would find, and the victim policy (lowest invalid way,
+// else strictly-oldest LRU stamp) is shared.
 type cache struct {
 	cfg     CacheConfig
 	sets    int
@@ -29,13 +56,20 @@ type cache struct {
 	// fill[set*ways+way] is the slot's fill bookkeeping, touched only on
 	// hits and installs.
 	fill []fillMeta
-	// hint holds 4 sub-hints per set, selected by line bits above the
-	// set index, each remembering the way of a recent hit or install for
-	// that line group — probed before the tag scan (MRU-first shortcut).
-	// Sub-hints keep distinct hot lines of one set from evicting each
-	// other's shortcut. Host-side accelerator only: every hint is
-	// verified against the tag before use.
-	hint []int32
+	// exact selects the shadow-index strategy; when false lookups scan
+	// and shadow/lines stay nil.
+	exact bool
+	// lines[set*ways+way] holds the slot's resident line as line<<1|1
+	// (0 = never installed), the verification target for shadow probes.
+	// Packing validity into the value makes verification one load: a
+	// never-installed slot holds 0, which no vline equals. Exact levels
+	// only.
+	lines []uint64
+	// shadow[hash(line)] holds slot+1 (0 = unset), last-writer-wins.
+	// Exact levels only.
+	shadow []int32
+	// shadowShift maps a Fibonacci-hashed line's top bits onto shadow.
+	shadowShift uint
 }
 
 // fillMeta is the fill state of one cache slot.
@@ -48,14 +82,18 @@ type fillMeta struct {
 	prefetched bool
 }
 
-func newCache(cfg CacheConfig) *cache {
+// fibMul is the 64-bit Fibonacci hashing multiplier used to spread line
+// numbers over the shadow index.
+const fibMul = 0x9e3779b97f4a7c15
+
+func newCache(cfg CacheConfig, exact bool) *cache {
 	sets := cfg.Sets()
 	n := sets * cfg.Ways
 	shift := uint(0)
 	for 1<<shift < sets {
 		shift++
 	}
-	return &cache{
+	c := &cache{
 		cfg:      cfg,
 		sets:     sets,
 		ways:     cfg.Ways,
@@ -64,8 +102,22 @@ func newCache(cfg CacheConfig) *cache {
 		tags:     make([]uint32, n),
 		stamps:   make([]uint64, n),
 		fill:     make([]fillMeta, n),
-		hint:     make([]int32, sets*4),
+		exact:    exact,
 	}
+	if exact {
+		size := 1
+		for size < n*4 {
+			size <<= 1
+		}
+		c.lines = make([]uint64, n)
+		c.shadow = make([]int32, size)
+		sshift := uint(64)
+		for 1<<(64-sshift) < size {
+			sshift--
+		}
+		c.shadowShift = sshift
+	}
+	return c
 }
 
 // tagOf packs line into its stored tag. Compact tags require line
@@ -79,29 +131,30 @@ func (c *cache) tagOf(line uint64) uint32 {
 	return uint32(t)<<1 | 1
 }
 
-// lookup returns the slot index of line in its set, or -1.
+// lookup returns the slot index of line, or -1.
 func (c *cache) lookup(line uint64) int {
 	return c.find(line)
 }
 
-// find returns the slot of line in its set, or -1. It touches only the
-// tag array: the hinted way first (MRU-first shortcut), then a dense
-// scan. An invalid tag ends the scan early because valid ways always
-// form a prefix of the set: installs fill the lowest-index invalid way
-// and lines are never invalidated individually (only invalidateAll).
+// find returns the slot of line, or -1. Exact levels answer shadow hits
+// with one verified probe and fall to the set scan otherwise; scanned
+// levels scan the set's dense tags directly. An invalid tag ends any
+// scan early because valid ways always form a prefix of the set:
+// installs fill the lowest-index invalid way and lines are never
+// invalidated individually (only invalidateAll).
 func (c *cache) find(line uint64) int {
-	set := int(line & c.setMask)
-	base := set * c.ways
-	want := c.tagOf(line)
-	hi := set<<2 | int(line>>c.setShift)&3
-	h := base + int(c.hint[hi])
-	if c.tags[h] == want {
-		return h
+	if c.exact {
+		h := (line * fibMul) >> c.shadowShift
+		if s := int(c.shadow[h]) - 1; s >= 0 && c.lines[s] == line<<1|1 {
+			return s
+		}
+		return c.scanExact(line, h)
 	}
+	base := int(line&c.setMask) * c.ways
+	want := c.tagOf(line)
 	tags := c.tags[base : base+c.ways]
 	for w, tag := range tags {
 		if tag == want {
-			c.hint[hi] = int32(w)
 			return base + w
 		}
 		if tag == 0 {
@@ -111,36 +164,93 @@ func (c *cache) find(line uint64) int {
 	return -1
 }
 
-// probe scans line's set once, returning the hit slot (or -1) and the
-// victim slot an install into this set would use. The victim choice is
-// exactly the historical install policy: the lowest-index invalid way
-// if one exists, else the way with the strictly smallest LRU stamp
-// (ties to the lowest index). The LRU stamp pass runs only on a miss in
-// a full set — the one case that actually evicts — so hits and misses
-// with free ways stay on the dense tags-only path.
-func (c *cache) probe(line uint64) (slot, victim int) {
-	set := int(line & c.setMask)
-	base := set * c.ways
+// scanExact is the exact-level fallback scan after a shadow miss at
+// hash position h: a dense tag scan of line's set, repairing the shadow
+// entry on a hit so a collision-evicted shortcut heals itself.
+func (c *cache) scanExact(line uint64, h uint64) int {
+	base := int(line&c.setMask) * c.ways
 	want := c.tagOf(line)
-	// MRU-first: the hinted way hits first for repeated accesses.
-	hi := set<<2 | int(line>>c.setShift)&3
-	h := base + int(c.hint[hi])
-	if c.tags[h] == want {
-		return h, -1
-	}
 	tags := c.tags[base : base+c.ways]
 	for w, tag := range tags {
 		if tag == want {
-			c.hint[hi] = int32(w)
+			s := base + w
+			c.shadow[h] = int32(s + 1)
+			return s
+		}
+		if tag == 0 {
+			return -1
+		}
+	}
+	return -1
+}
+
+// probe returns the hit slot of line (or -1) and the victim slot an
+// install into line's set would use (-1 on a hit). The victim choice is
+// exactly the historical install policy: the lowest-index invalid way
+// if one exists, else the way with the strictly smallest LRU stamp
+// (ties to the lowest index). The LRU stamp pass runs only on a miss in
+// a full set — the one case that actually evicts.
+func (c *cache) probe(line uint64) (slot, victim int) {
+	base := int(line&c.setMask) * c.ways
+	if c.exact {
+		h := (line * fibMul) >> c.shadowShift
+		if s := int(c.shadow[h]) - 1; s >= 0 && c.lines[s] == line<<1|1 {
+			return s, -1
+		}
+		want := c.tagOf(line)
+		tags := c.tags[base : base+c.ways]
+		for w, tag := range tags {
+			if tag == want {
+				s := base + w
+				c.shadow[h] = int32(s + 1)
+				return s, -1
+			}
+			if tag == 0 {
+				// Valid ways are a prefix (see find), so no hit lies
+				// beyond and this is the lowest-index invalid way.
+				return -1, base + w
+			}
+		}
+		return -1, c.lruOf(base)
+	}
+	want := c.tagOf(line)
+	tags := c.tags[base : base+c.ways]
+	for w, tag := range tags {
+		if tag == want {
 			return base + w, -1
 		}
 		if tag == 0 {
-			// Valid ways are a prefix (see find), so no hit lies
-			// beyond and this is the lowest-index invalid way.
 			return -1, base + w
 		}
 	}
-	victim = base
+	return -1, c.lruOf(base)
+}
+
+// victimOf picks the install victim in line's set without probing for a
+// hit: the lowest-index invalid way (valid ways form a prefix: installs
+// fill the lowest invalid way and lines are never invalidated
+// individually), else the LRU way. Identical to the victim probe()
+// returns on a miss. The prefix invariant makes "set full" one load —
+// the highest way's tag — so the steady-state case goes straight to the
+// LRU pass without scanning for a free way that cannot exist.
+func (c *cache) victimOf(line uint64) int {
+	base := int(line&c.setMask) * c.ways
+	if c.tags[base+c.ways-1] != 0 {
+		return c.lruOf(base)
+	}
+	tags := c.tags[base : base+c.ways]
+	for w, tag := range tags {
+		if tag == 0 {
+			return base + w
+		}
+	}
+	return c.lruOf(base)
+}
+
+// lruOf returns the slot with the strictly smallest LRU stamp in the
+// full set starting at base (ties to the lowest index).
+func (c *cache) lruOf(base int) int {
+	victim := base
 	oldest := c.stamps[base]
 	for s := base + 1; s < base+c.ways; s++ {
 		if st := c.stamps[s]; st < oldest {
@@ -148,7 +258,7 @@ func (c *cache) probe(line uint64) (slot, victim int) {
 			victim = s
 		}
 	}
-	return -1, victim
+	return victim
 }
 
 // touch records a use of slot at the given clock for LRU ordering.
@@ -168,16 +278,20 @@ func (c *cache) install(line, now, readyAt uint64) int {
 	return slot
 }
 
-// installAt fills a victim slot previously returned by probe. The caller
-// guarantees no install or touch hit this set between the probe and the
-// fill, so the victim choice is still current.
+// installAt fills a victim slot previously returned by probe, keeping
+// the lookup shortcut current: exact levels record the slot's new line
+// and point its shadow entry here (the evicted line's entry needs no
+// cleanup — it fails verification from now on). The caller guarantees
+// no install or touch hit this set between the probe and the fill, so
+// the victim choice is still current.
 func (c *cache) installAt(slot int, line, now, readyAt uint64) {
+	if c.exact {
+		c.lines[slot] = line<<1 | 1
+		c.shadow[(line*fibMul)>>c.shadowShift] = int32(slot + 1)
+	}
 	c.tags[slot] = c.tagOf(line)
 	c.stamps[slot] = now
 	c.fill[slot] = fillMeta{readyAt: readyAt}
-	set := int(line & c.setMask)
-	hi := set<<2 | int(line>>c.setShift)&3
-	c.hint[hi] = int32(slot - set*c.ways)
 }
 
 // invalidateAll clears every line; used by Core.Reset.
@@ -187,8 +301,13 @@ func (c *cache) invalidateAll() {
 		c.stamps[i] = 0
 		c.fill[i] = fillMeta{}
 	}
-	for i := range c.hint {
-		c.hint[i] = 0
+	if c.exact {
+		for i := range c.lines {
+			c.lines[i] = 0
+		}
+		for i := range c.shadow {
+			c.shadow[i] = 0
+		}
 	}
 }
 

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExactShadowMatchesScan churns an exact (shadow-indexed) cache and
+// a scanned twin through the same random find/touch/install/invalidate
+// sequence and requires identical answers at every step. The two
+// strategies share the set layout and victim policy, so any divergence
+// is a shadow-consistency bug: a stale entry surviving verification, a
+// collision not healing, or an install not updating the index.
+func TestExactShadowMatchesScan(t *testing.T) {
+	cfg := DefaultConfig().L1
+	exact := newCache(cfg, true)
+	scan := newCache(cfg, false)
+	rng := rand.New(rand.NewSource(7))
+
+	// Three times the line capacity: heavy set conflict and steady
+	// shadow-slot collisions via the Fibonacci hash.
+	space := uint64(cfg.Sets()*cfg.Ways) * 3
+	var now uint64
+	for i := 0; i < 300000; i++ {
+		now++
+		if rng.Intn(20000) == 0 {
+			exact.invalidateAll()
+			scan.invalidateAll()
+			continue
+		}
+		line := rng.Uint64() % space
+		se := exact.find(line)
+		ss := scan.find(line)
+		if se != ss {
+			t.Fatalf("op %d line %d: exact find %d, scanned find %d", i, line, se, ss)
+		}
+		if exact.resident(line) != scan.resident(line) {
+			t.Fatalf("op %d line %d: residency disagrees", i, line)
+		}
+		if se >= 0 {
+			exact.touch(se, now)
+			scan.touch(ss, now)
+			continue
+		}
+		ve := exact.victimOf(line)
+		vs := scan.victimOf(line)
+		if ve != vs {
+			t.Fatalf("op %d line %d: exact victim %d, scanned victim %d", i, line, ve, vs)
+		}
+		exact.installAt(ve, line, now, now)
+		scan.installAt(vs, line, now, now)
+	}
+}
+
+// TestProbeMatchesFindPlusVictim checks that the fused probe used by the
+// miss path answers exactly what separate find + victimOf calls would.
+func TestProbeMatchesFindPlusVictim(t *testing.T) {
+	for _, ex := range []bool{true, false} {
+		c := newCache(DefaultConfig().L1, ex)
+		rng := rand.New(rand.NewSource(11))
+		space := uint64(c.sets*c.ways) * 2
+		for i := 0; i < 100000; i++ {
+			line := rng.Uint64() % space
+			slot, victim := c.probe(line)
+			if f := c.find(line); f != slot {
+				t.Fatalf("exact=%v op %d: probe slot %d, find %d", ex, i, slot, f)
+			}
+			if slot >= 0 {
+				if victim != -1 {
+					t.Fatalf("exact=%v op %d: hit returned victim %d", ex, i, victim)
+				}
+				c.touch(slot, uint64(i))
+				continue
+			}
+			if v := c.victimOf(line); v != victim {
+				t.Fatalf("exact=%v op %d: probe victim %d, victimOf %d", ex, i, victim, v)
+			}
+			c.installAt(victim, line, uint64(i), uint64(i))
+		}
+	}
+}

@@ -32,6 +32,11 @@ type Core struct {
 	curTask int32
 	curCS   int32
 
+	// alog, when non-nil, receives every charged memory operation (see
+	// accesslog.go); the differential-replay harness uses it to prove
+	// two executors issue byte-identical access sequences.
+	alog func(MemAccess)
+
 	// switchInsts is SwitchCost*IssueWidth/2, precomputed so TaskSwitch
 	// avoids the multiply on the scheduler's hottest edge; switchCost
 	// caches cfg.SwitchCost to keep TaskSwitch within the inlining
@@ -51,9 +56,9 @@ func NewCore(cfg Config) (*Core, error) {
 	}
 	c := &Core{
 		cfg:         cfg,
-		l1:          newCache(cfg.L1),
-		l2:          newCache(cfg.L2),
-		llc:         newCache(cfg.LLC),
+		l1:          newCache(cfg.L1, true),
+		l2:          newCache(cfg.L2, false),
+		llc:         newCache(cfg.LLC, false),
 		outstanding: make([]uint64, 0, cfg.MSHRs),
 		switchInsts: cfg.SwitchCost * cfg.IssueWidth / 2,
 		switchCost:  cfg.SwitchCost,
@@ -141,14 +146,50 @@ func (c *Core) emitSwitch() {
 	c.Emit(TraceTaskSwitch, CauseNone, 0, 0, 0)
 }
 
-// Read charges a demand read of size bytes at addr.
+// Read charges a demand read of size bytes at addr. The body is the
+// exact L1 fast path: a single-line span that hits a completed,
+// non-prefetched L1 line charges its counters inline — the identical
+// updates the general path's access() would make — and everything else
+// falls through to the full burst machinery.
 func (c *Core) Read(addr, size uint64) {
+	line := addr >> lineShift
+	if (addr+size-1)>>lineShift == line && size != 0 && c.alog == nil {
+		l1 := c.l1
+		h := (line * fibMul) >> l1.shadowShift
+		if slot := int(l1.shadow[h]) - 1; slot >= 0 && l1.lines[slot] == line<<1|1 {
+			if f := &l1.fill[slot]; f.readyAt <= c.clock && !f.prefetched {
+				c.ctr.Reads++
+				c.ctr.Instructions++
+				c.ctr.L1Hits++
+				c.clock += c.cfg.L1.HitLatency
+				l1.stamps[slot] = c.clock
+				return
+			}
+		}
+		// Shadow miss: the line may still be L1-resident behind a hash
+		// collision — burst's full probe settles it identically.
+	}
 	c.burst(addr, size, false)
 }
 
 // Write charges a demand write of size bytes at addr. Writes allocate,
-// so they follow the same path as reads.
+// so they follow the same path as reads, including the L1 fast path.
 func (c *Core) Write(addr, size uint64) {
+	line := addr >> lineShift
+	if (addr+size-1)>>lineShift == line && size != 0 && c.alog == nil {
+		l1 := c.l1
+		h := (line * fibMul) >> l1.shadowShift
+		if slot := int(l1.shadow[h]) - 1; slot >= 0 && l1.lines[slot] == line<<1|1 {
+			if f := &l1.fill[slot]; f.readyAt <= c.clock && !f.prefetched {
+				c.ctr.Writes++
+				c.ctr.Instructions++
+				c.ctr.L1Hits++
+				c.clock += c.cfg.L1.HitLatency
+				l1.stamps[slot] = c.clock
+				return
+			}
+		}
+	}
 	c.burst(addr, size, true)
 }
 
@@ -158,6 +199,13 @@ func (c *Core) Write(addr, size uint64) {
 // bumps are hoisted out of the loop (the final totals are identical),
 // and the dominant single-line case (spans <= 64 B) skips the loop.
 func (c *Core) burst(addr, size uint64, write bool) {
+	if c.alog != nil {
+		kind := AccessRead
+		if write {
+			kind = AccessWrite
+		}
+		c.alog(MemAccess{Addr: addr, Size: size, Cycle: c.clock, Kind: kind})
+	}
 	if size == 0 {
 		return
 	}
@@ -304,17 +352,33 @@ func (c *Core) Prefetch(addr, size uint64) {
 	}
 }
 
+// PrefetchLine issues a prefetch for the single cache line containing
+// addr. It is the pre-resolved form the step-plan compiler lowers
+// Prefetch spans into: Prefetch(addr, size) over an aligned span is
+// exactly one PrefetchLine per covered line, in ascending order.
+func (c *Core) PrefetchLine(addr uint64) {
+	c.prefetchLine(addr >> lineShift)
+}
+
 func (c *Core) prefetchLine(line uint64) {
+	if c.alog != nil {
+		c.alog(MemAccess{Addr: line << lineShift, Size: LineBytes, Cycle: c.clock, Kind: AccessPrefetch})
+	}
 	c.clock += c.cfg.PrefetchIssueCost
 	c.ctr.Instructions++
-	s1, v1 := c.l1.probe(line)
-	if s1 >= 0 {
+	if c.l1.find(line) >= 0 {
 		c.ctr.PrefetchRedundant++
 		if c.trc != nil {
 			c.Emit(TracePrefetchRedundant, CauseNone, line<<lineShift, 0, 0)
 		}
 		return
 	}
+	c.prefetchMiss(line)
+}
+
+// prefetchMiss is the tail of a prefetch issue for a line known absent
+// from L1: MSHR admission, fill-latency determination and the installs.
+func (c *Core) prefetchMiss(line uint64) {
 	if c.activeMSHRs() >= c.cfg.MSHRs {
 		c.ctr.PrefetchDropped++
 		if c.trc != nil {
@@ -322,21 +386,21 @@ func (c *Core) prefetchLine(line uint64) {
 		}
 		return
 	}
-	// Fill latency depends on where the line currently lives. The miss
-	// probes double as victim finders for the installs below; the sets
-	// are untouched in between, so the victims stay valid.
+	// Fill latency depends on where the line currently lives. Victims
+	// are picked lazily — only the levels actually installed into pay
+	// the LRU pass, and redundant/dropped issues above pay none.
 	var fill uint64
-	s2, v2 := c.l2.probe(line)
-	if s2 >= 0 {
+	if c.l2.find(line) >= 0 {
 		fill = c.cfg.L2.HitLatency
-	} else if s3, v3 := c.llc.probe(line); s3 >= 0 {
+	} else if c.llc.find(line) >= 0 {
 		fill = c.cfg.LLC.HitLatency
 	} else {
 		fill = c.cfg.DRAMLatency
-		c.llc.installAt(v3, line, c.clock, c.clock+fill)
-		c.l2.installAt(v2, line, c.clock, c.clock+fill)
+		c.llc.installAt(c.llc.victimOf(line), line, c.clock, c.clock+fill)
+		c.l2.installAt(c.l2.victimOf(line), line, c.clock, c.clock+fill)
 	}
 	ready := c.clock + fill
+	v1 := c.l1.victimOf(line)
 	c.l1.installAt(v1, line, c.clock, ready)
 	c.l1.fill[v1].prefetched = true
 	if len(c.outstanding) == 0 || ready < c.minReady {
@@ -402,12 +466,28 @@ func (c *Core) ResidentL1(addr, size uint64) bool {
 	first := addr >> lineShift
 	last := (addr + size - 1) >> lineShift
 	if first == last {
-		return c.l1.resident(first)
+		return c.l1.find(first) >= 0
 	}
 	for line := first; line <= last; line++ {
-		if !c.l1.resident(line) {
+		if c.l1.find(line) < 0 {
 			return false
 		}
 	}
 	return true
+}
+
+// ResidentL1Line reports whether the single line containing addr is
+// present in L1 (in-flight fills count as present): one verified shadow
+// probe in the common case, the pre-resolved form of ResidentL1 used by
+// compiled step plans. The probe body is spelled out here (rather than
+// delegating to the cache's find) so the call inlines into the
+// scheduler's P-state check loop.
+func (c *Core) ResidentL1Line(addr uint64) bool {
+	line := addr >> lineShift
+	l1 := c.l1
+	h := (line * fibMul) >> l1.shadowShift
+	if s := int(l1.shadow[h]) - 1; s >= 0 && l1.lines[s] == line<<1|1 {
+		return true
+	}
+	return l1.scanExact(line, h) >= 0
 }

@@ -88,17 +88,27 @@ type FlowGenConfig struct {
 // FlowGen emits packets over a synthetic flow population. It implements
 // the runtimes' Source interface.
 type FlowGen struct {
-	cfg    FlowGenConfig
-	rng    *rand.Rand
-	zipf   *rand.Zipf
-	pool   *pool
-	tuples []pkt.FiveTuple
-	rr     int
-	// frames holds one lazily-encoded header template per flow
-	// (hdrBytes each); a zero first byte marks a not-yet-built entry
-	// (real frames start with the destination MAC 02:...). Templates
-	// make repeat packets of a flow a copy instead of a re-encode.
-	frames []byte
+	cfg  FlowGenConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	pool *pool
+	rr   int
+	// recs holds one record per flow: the tuple plus its lazily-encoded
+	// header template. A zero first header byte marks a not-yet-built
+	// template (real frames start with the destination MAC 02:...).
+	// Templates make repeat packets of a flow a copy instead of a
+	// re-encode, and packing template and tuple into one cache-line-
+	// sized record makes emitting a packet touch one host line instead
+	// of two parallel arrays.
+	recs []flowRec
+}
+
+// flowRec is one flow's emission record: 42 template bytes + a 16-byte
+// tuple at offset 44, padded to 64 bytes.
+type flowRec struct {
+	hdr   [hdrBytes]byte
+	tuple pkt.FiveTuple
+	_     [4]byte
 }
 
 // NewFlowGen builds a generator over cfg.Flows distinct five-tuples.
@@ -120,14 +130,13 @@ func NewFlowGen(cfg FlowGenConfig) (*FlowGen, error) {
 			cfg.ShardBase, cfg.ShardBase+cfg.ShardCount, cfg.Flows)
 	}
 	g := &FlowGen{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		pool:   newPool(),
-		tuples: make([]pkt.FiveTuple, cfg.Flows),
-		frames: make([]byte, cfg.Flows*hdrBytes),
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		pool: newPool(),
+		recs: make([]flowRec, cfg.Flows),
 	}
-	for i := range g.tuples {
-		g.tuples[i] = pkt.FiveTuple{
+	for i := range g.recs {
+		g.recs[i].tuple = pkt.FiveTuple{
 			SrcIP:   0x0a000000 + uint32(i/65000),
 			DstIP:   0xc0a80000 + uint32(i%4096),
 			SrcPort: uint16(1024 + i%64000),
@@ -136,7 +145,7 @@ func NewFlowGen(cfg FlowGenConfig) (*FlowGen, error) {
 		}
 		// Spread source addresses so tuples are distinct even when the
 		// port cycles.
-		g.tuples[i].SrcIP += uint32(i%65000) << 8 & 0x00ffff00
+		g.recs[i].tuple.SrcIP += uint32(i%65000) << 8 & 0x00ffff00
 	}
 	if cfg.Order == OrderZipf {
 		g.zipf = rand.NewZipf(g.rng, 1.1, 1, uint64(cfg.ShardCount-1))
@@ -145,10 +154,10 @@ func NewFlowGen(cfg FlowGenConfig) (*FlowGen, error) {
 }
 
 // FlowTuple returns flow i's five-tuple, for table pre-population.
-func (g *FlowGen) FlowTuple(i int) pkt.FiveTuple { return g.tuples[i] }
+func (g *FlowGen) FlowTuple(i int) pkt.FiveTuple { return g.recs[i].tuple }
 
 // Flows returns the flow population size.
-func (g *FlowGen) Flows() int { return len(g.tuples) }
+func (g *FlowGen) Flows() int { return len(g.recs) }
 
 // pick selects the next flow index per the configured order, within
 // the generator's shard.
@@ -178,17 +187,16 @@ const hdrBytes = pkt.EthLen + pkt.IPv4Len + pkt.UDPLen
 // fraction of the host cost.
 func (g *FlowGen) Next() *pkt.Packet {
 	p := g.pool.take()
-	i := g.pick()
-	tmpl := g.frames[i*hdrBytes : (i+1)*hdrBytes : (i+1)*hdrBytes]
-	if tmpl[0] == 0 {
+	r := &g.recs[g.pick()]
+	if r.hdr[0] == 0 {
 		// First packet of this flow: encode for real, then capture.
-		buildUDPish(p, g.tuples[i], g.cfg.PacketBytes)
-		copy(tmpl, p.Data)
+		buildUDPish(p, r.tuple, g.cfg.PacketBytes)
+		copy(r.hdr[:], p.Data)
 		return p
 	}
-	copy(p.Data, tmpl)
+	copy(p.Data, r.hdr[:])
 	p.WireLen = g.cfg.PacketBytes
-	p.Tuple = g.tuples[i]
+	p.Tuple = r.tuple
 	return p
 }
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Paired-minimum benchmark comparison (the BENCH_hotpath.json
+# methodology). This host is a shared VM whose absolute ns/op drifts by
+# double-digit percent between runs; single before/after runs are
+# meaningless. This script cancels the drift by building two test
+# binaries — one at a baseline commit, one from the working tree — and
+# alternating them baseline,new,baseline,new,... within the same time
+# window, then reporting the per-side MINIMUM for each benchmark (the
+# least-disturbed execution) and the ratio of minimums.
+#
+# Usage:
+#   scripts/bench_paired.sh
+#   BASE=<commit> PKG=./internal/sim/ BENCH='BenchmarkCacheLookup$' ROUNDS=5 scripts/bench_paired.sh
+#
+# Knobs (environment):
+#   BASE      baseline commit (default: HEAD — compare working tree vs HEAD)
+#   PKG       package whose test binary to build (default ./internal/rt/)
+#   BENCH     -test.bench regex (default BenchmarkWorkerSteadyState$)
+#   ROUNDS    alternation rounds (default 10)
+#   BENCHTIME go -benchtime per run (default 1s)
+#
+# Benchmarks that exist on only one side are reported without a ratio.
+set -euo pipefail
+
+BASE=${BASE:-HEAD}
+PKG=${PKG:-./internal/rt/}
+BENCH=${BENCH:-BenchmarkWorkerSteadyState$}
+ROUNDS=${ROUNDS:-10}
+BENCHTIME=${BENCHTIME:-1s}
+
+root=$(git rev-parse --show-toplevel)
+tmp=$(mktemp -d)
+cleanup() {
+	git -C "$root" worktree remove --force "$tmp/base" >/dev/null 2>&1 || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building baseline ($BASE) and working-tree test binaries for $PKG" >&2
+git -C "$root" worktree add --detach "$tmp/base" "$BASE" >/dev/null 2>&1
+(cd "$tmp/base" && go test -c -o "$tmp/base.test" "$PKG")
+(cd "$root" && go test -c -o "$tmp/new.test" "$PKG")
+
+run() { # side binary
+	"$2" -test.run '^$' -test.bench "$BENCH" -test.benchtime "$BENCHTIME" -test.benchmem 2>/dev/null |
+		awk -v side="$1" '$2 ~ /^[0-9]+$/ && $4 == "ns/op" { sub(/-[0-9]+$/, "", $1); print side, $1, $3 }'
+}
+
+: >"$tmp/results.txt"
+for i in $(seq "$ROUNDS"); do
+	echo "== round $i/$ROUNDS" >&2
+	run base "$tmp/base.test" >>"$tmp/results.txt"
+	run new "$tmp/new.test" >>"$tmp/results.txt"
+done
+
+awk '
+	{
+		v = $3 + 0
+		if (!(($1, $2) in min) || v < min[$1, $2]) min[$1, $2] = v
+		benches[$2] = 1
+	}
+	END {
+		for (b in benches) {
+			bm = (("base", b) in min) ? min["base", b] : -1
+			nm = (("new", b) in min) ? min["new", b] : -1
+			if (bm > 0 && nm > 0)
+				printf "%-40s base_min=%9.1f ns/op  new_min=%9.1f ns/op  speedup=%.3fx\n", b, bm, nm, bm / nm
+			else if (bm > 0)
+				printf "%-40s base_min=%9.1f ns/op  (absent in working tree)\n", b, bm
+			else
+				printf "%-40s new_min=%9.1f ns/op  (absent at baseline)\n", b, nm
+		}
+	}
+' "$tmp/results.txt" | sort
