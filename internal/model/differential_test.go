@@ -173,13 +173,16 @@ type diffSide struct {
 }
 
 // replay runs the given number of packet streams through one executor
-// side on a fresh core, logging every charged access.
-func replay(t *testing.T, w *diffWorld, s diffSide, packets int) diffResult {
+// side on a fresh core, logging every charged access. scan routes the
+// core's lookups through the dense tag scans instead of the residency
+// directory (the verification twin).
+func replay(t *testing.T, w *diffWorld, s diffSide, packets int, scan bool) diffResult {
 	t.Helper()
 	core, err := sim.NewCore(sim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
+	core.SetScanLookups(scan)
 	var res diffResult
 	core.SetAccessLog(func(a sim.MemAccess) { res.log = append(res.log, a) })
 	p := &pkt.Packet{Addr: w.pktAddr, Data: make([]byte, 128)}
@@ -226,6 +229,56 @@ func replay(t *testing.T, w *diffWorld, s diffSide, packets int) diffResult {
 	return res
 }
 
+// sides returns the compiled and interpreted executor entry points for
+// one generated program.
+func sides(w *diffWorld) (compiled, interpreted diffSide) {
+	compiled = diffSide{
+		step:     w.prog.Step,
+		ensure:   w.prog.EnsurePrefetched,
+		resident: w.prog.ResidentCurrent,
+		prefetch: w.prog.PrefetchCurrent,
+	}
+	interpreted = diffSide{
+		step: w.prog.StepInterpreted,
+		ensure: func(e *model.Exec) bool {
+			// The reference expansion of EnsurePrefetched: residency
+			// check, then (on a miss) the full prefetch issue. Either
+			// way the P-state ends up set.
+			if w.prog.ResidentCurrentInterpreted(e) {
+				e.Prefetched = true
+				return true
+			}
+			w.prog.PrefetchCurrentInterpreted(e)
+			return false
+		},
+		resident: w.prog.ResidentCurrentInterpreted,
+		prefetch: w.prog.PrefetchCurrentInterpreted,
+	}
+	return compiled, interpreted
+}
+
+// diffCompare asserts two replay results are bit-identical.
+func diffCompare(t *testing.T, n int, label string, got, want diffResult) {
+	t.Helper()
+	if len(got.log) != len(want.log) {
+		t.Fatalf("program %d: %d accesses %s vs %d reference", n, len(got.log), label, len(want.log))
+	}
+	for i := range want.log {
+		if got.log[i] != want.log[i] {
+			t.Fatalf("program %d access %d: %s %+v != reference %+v", n, i, label, got.log[i], want.log[i])
+		}
+	}
+	if got.ctr != want.ctr {
+		t.Fatalf("program %d counters: %s %+v != reference %+v", n, label, got.ctr, want.ctr)
+	}
+	if got.clock != want.clock {
+		t.Fatalf("program %d clock: %s %d != reference %d", n, label, got.clock, want.clock)
+	}
+	if got.accessCycles != want.accessCycles {
+		t.Fatalf("program %d access cycles: %s %d != reference %d", n, label, got.accessCycles, want.accessCycles)
+	}
+}
+
 // TestDifferentialReplay replays randomized programs through the
 // interpreted reference executor and the compiled plan executor and
 // requires bit-identical access sequences, counters and clocks.
@@ -234,52 +287,26 @@ func TestDifferentialReplay(t *testing.T) {
 	for n := 0; n < diffPrograms; n++ {
 		w := buildRandomProgram(t, rng)
 		packets := 2 + rng.Intn(3)
+		compiled, interpreted := sides(w)
+		want := replay(t, w, interpreted, packets, false)
+		diffCompare(t, n, "compiled", replay(t, w, compiled, packets, false), want)
+	}
+}
 
-		compiled := diffSide{
-			step:     w.prog.Step,
-			ensure:   w.prog.EnsurePrefetched,
-			resident: w.prog.ResidentCurrent,
-			prefetch: w.prog.PrefetchCurrent,
-		}
-		interpreted := diffSide{
-			step: w.prog.StepInterpreted,
-			ensure: func(e *model.Exec) bool {
-				// The reference expansion of EnsurePrefetched: residency
-				// check, then (on a miss) the full prefetch issue. Either
-				// way the P-state ends up set.
-				if w.prog.ResidentCurrentInterpreted(e) {
-					e.Prefetched = true
-					return true
-				}
-				w.prog.PrefetchCurrentInterpreted(e)
-				return false
-			},
-			resident: w.prog.ResidentCurrentInterpreted,
-			prefetch: w.prog.PrefetchCurrentInterpreted,
-		}
-
-		want := replay(t, w, interpreted, packets)
-		got := replay(t, w, compiled, packets)
-
-		if len(got.log) != len(want.log) {
-			t.Fatalf("program %d: %d accesses compiled vs %d interpreted",
-				n, len(got.log), len(want.log))
-		}
-		for i := range want.log {
-			if got.log[i] != want.log[i] {
-				t.Fatalf("program %d access %d: compiled %+v != interpreted %+v",
-					n, i, got.log[i], want.log[i])
-			}
-		}
-		if got.ctr != want.ctr {
-			t.Fatalf("program %d counters: compiled %+v != interpreted %+v", n, got.ctr, want.ctr)
-		}
-		if got.clock != want.clock {
-			t.Fatalf("program %d clock: compiled %d != interpreted %d", n, got.clock, want.clock)
-		}
-		if got.accessCycles != want.accessCycles {
-			t.Fatalf("program %d access cycles: compiled %d != interpreted %d",
-				n, got.accessCycles, want.accessCycles)
-		}
+// TestDifferentialReplayScanTwin replays randomized programs with the
+// core's lookups routed through the historical dense tag scans
+// (SetScanLookups) and requires results bit-identical to the residency-
+// directory path, for both executors. The directory is a host-side
+// accelerator over the same simulated state; it must never change a
+// charged access, a counter, or the clock.
+func TestDifferentialReplayScanTwin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n < diffPrograms/2; n++ {
+		w := buildRandomProgram(t, rng)
+		packets := 2 + rng.Intn(3)
+		compiled, interpreted := sides(w)
+		want := replay(t, w, interpreted, packets, false)
+		diffCompare(t, n, "interpreted/scan", replay(t, w, interpreted, packets, true), want)
+		diffCompare(t, n, "compiled/scan", replay(t, w, compiled, packets, true), want)
 	}
 }

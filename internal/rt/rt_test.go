@@ -49,22 +49,43 @@ func newWorker(t testing.TB, prog *model.Program, cfg rt.Config) *rt.Worker {
 	return w
 }
 
+// TestConfigValidation enumerates every invalid rt.Config error path
+// with a substring the rejection must carry, so the guards (including
+// the ring-wrap bound) cannot silently rot.
 func TestConfigValidation(t *testing.T) {
 	prog, _ := buildNAT(t, 16)
 	core, err := sim.NewCore(sim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := []rt.Config{
-		{Tasks: 0, Batch: 32, RingSlots: 16, SlotBytes: 2048},
-		{Tasks: 4, Batch: 0, RingSlots: 16, SlotBytes: 2048},
-		{Tasks: 4, Batch: 32, RingSlots: 0, SlotBytes: 2048},
-		{Tasks: 4, Batch: 32, RingSlots: 16, SlotBytes: 0},
+	tests := []struct {
+		name string
+		cfg  rt.Config
+		want string
+	}{
+		{"zero tasks", rt.Config{Tasks: 0, Batch: 32, RingSlots: 64, SlotBytes: 2048}, "Tasks must be positive"},
+		{"negative tasks", rt.Config{Tasks: -1, Batch: 32, RingSlots: 64, SlotBytes: 2048}, "Tasks must be positive"},
+		{"zero batch", rt.Config{Tasks: 4, Batch: 0, RingSlots: 64, SlotBytes: 2048}, "Batch must be positive"},
+		{"negative batch", rt.Config{Tasks: 4, Batch: -8, RingSlots: 64, SlotBytes: 2048}, "Batch must be positive"},
+		{"zero ring slots", rt.Config{Tasks: 4, Batch: 32, RingSlots: 0, SlotBytes: 2048}, "ring geometry"},
+		{"negative ring slots", rt.Config{Tasks: 4, Batch: 32, RingSlots: -1, SlotBytes: 2048}, "ring geometry"},
+		{"zero slot bytes", rt.Config{Tasks: 4, Batch: 32, RingSlots: 64, SlotBytes: 0}, "ring geometry"},
+		{"ring wrap guard", rt.Config{Tasks: 16, Batch: 32, RingSlots: 47, SlotBytes: 2048}, "RingSlots"},
 	}
-	for i, cfg := range bad {
-		if _, err := rt.NewWorker(core, mem.NewAddressSpace(), prog, cfg); err == nil {
-			t.Fatalf("config %d accepted: %+v", i, cfg)
-		}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := rt.NewWorker(core, mem.NewAddressSpace(), prog, tt.cfg)
+			if err == nil {
+				t.Fatalf("config accepted: %+v", tt.cfg)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+	ok := rt.Config{Tasks: 4, Batch: 32, RingSlots: 64, SlotBytes: 2048}
+	if _, err := rt.NewWorker(core, mem.NewAddressSpace(), prog, ok); err != nil {
+		t.Fatalf("minimal valid config rejected: %v", err)
 	}
 }
 

@@ -18,10 +18,12 @@ func benchCore(b *testing.B) *Core {
 	return c
 }
 
-// BenchmarkCacheLookup measures the raw tag-scan kernel on a warm L1
-// set: the single most executed loop in the simulator.
+// BenchmarkCacheLookup measures the raw lookup kernel on warm lines:
+// the single most executed operation in the simulator, now one
+// residency-directory probe.
 func BenchmarkCacheLookup(b *testing.B) {
-	c := newCache(DefaultConfig().L1, true)
+	cfg := DefaultConfig().L1
+	c := newCache(cfg, dirL1Shift, newResidencyDir(cfg.slots()))
 	// Fill a handful of sets so lookups traverse realistic occupancy.
 	lines := make([]uint64, 64)
 	for i := range lines {
@@ -63,6 +65,60 @@ func BenchmarkCoreReadMiss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		addr := (uint64(i) * 8 * LineBytes) % span
 		c.Read(addr, 8)
+	}
+}
+
+// BenchmarkHierarchyMiss measures demand reads that miss L1 and
+// resolve at each deeper level in turn. Cyclic sweeps over footprints
+// wedged between level capacities guarantee the resolution level: a
+// cyclic LRU sweep larger than a level always misses it, and one
+// smaller than the next level always hits there once warm.
+func BenchmarkHierarchyMiss(b *testing.B) {
+	cfg := DefaultConfig()
+	for _, tc := range []struct {
+		name  string
+		lines uint64
+	}{
+		// L1 512 lines, L2 16384, LLC 32768 with the default config.
+		{"HitL2", uint64(cfg.L1.slots()) * 8},
+		{"HitLLC", uint64(cfg.L2.slots()) * 3 / 2},
+		{"DRAM", uint64(cfg.LLC.slots()) * 32},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c := benchCore(b)
+			for i := uint64(0); i < tc.lines; i++ { // warm the target level
+				c.Read(i*LineBytes, 8)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Read((uint64(i)%tc.lines)*LineBytes, 8)
+			}
+			b.StopTimer()
+			ctr := c.Counters()
+			if ctr.L1Hits > ctr.L1Misses/8 {
+				b.Fatalf("sweep not missing L1: %d hits vs %d misses", ctr.L1Hits, ctr.L1Misses)
+			}
+		})
+	}
+}
+
+// BenchmarkMSHRPressure measures a prefetch storm at the MSHR limit:
+// distinct never-resident lines issued back to back, so the admission
+// check runs every time, the MSHRs saturate, fills retire in bursts as
+// the issue cost advances the clock past minReady, and the drain/free-
+// ring machinery cycles continuously between drops and re-admissions.
+func BenchmarkMSHRPressure(b *testing.B) {
+	c := benchCore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PrefetchLine(uint64(i) * 64 * LineBytes) // distinct sets, never resident
+	}
+	b.StopTimer()
+	ctr := c.Counters()
+	if b.N > 1000 && (ctr.PrefetchDropped == 0 || ctr.PrefetchIssued == 0) {
+		b.Fatalf("storm not at the limit: %d issued, %d dropped", ctr.PrefetchIssued, ctr.PrefetchDropped)
 	}
 }
 

@@ -7,40 +7,24 @@ package sim
 //
 // Host-side layout: tags are compact uint32s (only the line bits above
 // the set index — the rest is implied by the set), so a full 16-way
-// set's tags fit in one host cache line and the scan kernels walk
-// contiguous memory. The per-way LRU stamp and fill bookkeeping live in
-// parallel meta arrays touched only on hits, installs and the full-set
-// LRU pass.
+// set's tags fit in one host cache line. The per-way LRU stamp and fill
+// bookkeeping live in parallel arrays (structure-of-arrays: ready
+// cycles dense in one uint64 array, the L1-only prefetched flags in a
+// byte array) touched only on hits, installs and the full-set LRU pass.
 //
-// Lookups go through a shortcut table probed before any scan, chosen
-// per level at construction:
+// Lookups do not scan this level at all on the hot path: every level of
+// a Core shares one unified residency directory (see dir.go) probed
+// once for the whole hierarchy. The dense tag arrays remain fully
+// maintained as the directory's verification twin — find/probe below
+// are the historical scan implementations, routed to by
+// Core.SetScanLookups and by the twin fuzz tests, and the victim
+// machinery reads the tags for the set-full check and to recover the
+// evicted line at install time.
 //
-//   - exact levels (the L1): a line→slot shadow index keyed by a full
-//     line hash, verified against the per-slot line number, written on
-//     every install and self-healed on every scan hit. A verified
-//     shadow hit is exact (slot s holds line iff lines[s] == line<<1|1,
-//     validity packed into the value), so the L1 hit path and residency
-//     probes — the
-//     scheduler's most frequent questions — are one load-and-compare
-//     with no way scan. Only shadow collisions and true misses fall to
-//     the dense set scan. The shadow needs no maintenance on eviction:
-//     a stale entry fails verification and is overwritten by the next
-//     install or scan hit. Sized at 4× the line capacity (8 KiB for the
-//     default 32 KiB L1), it stays hot in the host's own cache.
-//
-//   - scanned levels (L2, LLC): a dense tag scan of the line's set,
-//     nothing else. A full set's compact tags fit one host cache line
-//     and the scan exits early at the first invalid way, so the probe
-//     costs a single host memory touch. The bigger levels see far fewer
-//     probes (only L1 misses reach them), their probes are mostly cold
-//     (random sets), and at their size any line-keyed shadow or per-set
-//     hint table just adds a second host miss per probe — measurably
-//     slower than the bare scan.
-//
-// Neither shortcut changes simulated behavior: a line occupies at most
-// one way of its set, so however the slot is found it is the same slot
-// a full scan would find, and the victim policy (lowest invalid way,
-// else strictly-oldest LRU stamp) is shared.
+// Neither lookup strategy changes simulated behavior: a line occupies
+// at most one way of its set, so however the slot is found it is the
+// same slot a full scan would find, and the victim policy (lowest
+// invalid way, else strictly-oldest LRU stamp) is shared.
 type cache struct {
 	cfg     CacheConfig
 	sets    int
@@ -48,45 +32,34 @@ type cache struct {
 	setMask uint64
 	// setShift is log2(sets): how far to shift a line to get its tag.
 	setShift uint
+	// levelShift is this level's slot-field shift in directory values
+	// (dirL1Shift/dirL2Shift/dirLLCShift).
+	levelShift uint
+	// dir is the unified residency directory shared across the levels
+	// of one Core; installAt and invalidateAll keep it current.
+	dir *residencyDir
 	// tags[set*ways+way] holds tag<<1|1 (bit 0 = valid); 0 means invalid.
 	tags []uint32
 	// stamps[set*ways+way] is the slot's last-use clock, kept dense so
 	// the full-set LRU pass walks one or two host cache lines.
 	stamps []uint64
-	// fill[set*ways+way] is the slot's fill bookkeeping, touched only on
-	// hits and installs.
-	fill []fillMeta
-	// exact selects the shadow-index strategy; when false lookups scan
-	// and shadow/lines stay nil.
-	exact bool
-	// lines[set*ways+way] holds the slot's resident line as line<<1|1
-	// (0 = never installed), the verification target for shadow probes.
-	// Packing validity into the value makes verification one load: a
-	// never-installed slot holds 0, which no vline equals. Exact levels
-	// only.
-	lines []uint64
-	// shadow[hash(line)] holds slot+1 (0 = unset), last-writer-wins.
-	// Exact levels only.
-	shadow []int32
-	// shadowShift maps a Fibonacci-hashed line's top bits onto shadow.
-	shadowShift uint
-}
-
-// fillMeta is the fill state of one cache slot.
-type fillMeta struct {
-	// readyAt is the cycle at which the line's fill completes; accesses
-	// earlier than this stall for the remainder.
-	readyAt uint64
-	// prefetched marks lines installed by a prefetch that have not yet
-	// served a demand access, for PMU efficacy accounting.
-	prefetched bool
+	// ready[set*ways+way] is the cycle at which the slot's fill
+	// completes; accesses earlier than this stall for the remainder.
+	ready []uint64
+	// pref[set*ways+way] marks lines installed by a prefetch that have
+	// not yet served a demand access, for PMU efficacy accounting. Only
+	// the L1 ever sets it, so outer levels leave it nil.
+	pref []bool
 }
 
 // fibMul is the 64-bit Fibonacci hashing multiplier used to spread line
-// numbers over the shadow index.
+// numbers over the residency directory.
 const fibMul = 0x9e3779b97f4a7c15
 
-func newCache(cfg CacheConfig, exact bool) *cache {
+// newCache builds one level. levelShift selects the level's slot field
+// in directory values; dir is the Core's shared residency directory
+// (tests may attach a private one).
+func newCache(cfg CacheConfig, levelShift uint, dir *residencyDir) *cache {
 	sets := cfg.Sets()
 	n := sets * cfg.Ways
 	shift := uint(0)
@@ -94,28 +67,19 @@ func newCache(cfg CacheConfig, exact bool) *cache {
 		shift++
 	}
 	c := &cache{
-		cfg:      cfg,
-		sets:     sets,
-		ways:     cfg.Ways,
-		setMask:  uint64(sets - 1),
-		setShift: shift,
-		tags:     make([]uint32, n),
-		stamps:   make([]uint64, n),
-		fill:     make([]fillMeta, n),
-		exact:    exact,
+		cfg:        cfg,
+		sets:       sets,
+		ways:       cfg.Ways,
+		setMask:    uint64(sets - 1),
+		setShift:   shift,
+		levelShift: levelShift,
+		dir:        dir,
+		tags:       make([]uint32, n),
+		stamps:     make([]uint64, n),
+		ready:      make([]uint64, n),
 	}
-	if exact {
-		size := 1
-		for size < n*4 {
-			size <<= 1
-		}
-		c.lines = make([]uint64, n)
-		c.shadow = make([]int32, size)
-		sshift := uint(64)
-		for 1<<(64-sshift) < size {
-			sshift--
-		}
-		c.shadowShift = sshift
+	if levelShift == dirL1Shift {
+		c.pref = make([]bool, n)
 	}
 	return c
 }
@@ -131,25 +95,25 @@ func (c *cache) tagOf(line uint64) uint32 {
 	return uint32(t)<<1 | 1
 }
 
-// lookup returns the slot index of line, or -1.
-func (c *cache) lookup(line uint64) int {
-	return c.find(line)
+// lineOf recovers the resident line of a valid slot from its compact
+// tag and the slot's set index — the inverse of tagOf. This is how an
+// install has the evicted line in hand without any scan.
+func (c *cache) lineOf(slot int) uint64 {
+	return uint64(c.tags[slot]>>1)<<c.setShift | uint64(slot/c.ways)
 }
 
-// find returns the slot of line, or -1. Exact levels answer shadow hits
-// with one verified probe and fall to the set scan otherwise; scanned
-// levels scan the set's dense tags directly. An invalid tag ends any
-// scan early because valid ways always form a prefix of the set:
-// installs fill the lowest-index invalid way and lines are never
-// invalidated individually (only invalidateAll).
+// lookup returns the slot index of line, or -1: a single directory
+// probe filtered to this level.
+func (c *cache) lookup(line uint64) int {
+	return int((c.dir.get(line)>>c.levelShift)&dirSlotMask) - 1
+}
+
+// find returns the slot of line, or -1, by the verification-twin dense
+// tag scan. An invalid tag ends the scan early because valid ways
+// always form a prefix of the set: installs fill the lowest-index
+// invalid way and lines are never invalidated individually (only
+// invalidateAll).
 func (c *cache) find(line uint64) int {
-	if c.exact {
-		h := (line * fibMul) >> c.shadowShift
-		if s := int(c.shadow[h]) - 1; s >= 0 && c.lines[s] == line<<1|1 {
-			return s
-		}
-		return c.scanExact(line, h)
-	}
 	base := int(line&c.setMask) * c.ways
 	want := c.tagOf(line)
 	tags := c.tags[base : base+c.ways]
@@ -164,55 +128,15 @@ func (c *cache) find(line uint64) int {
 	return -1
 }
 
-// scanExact is the exact-level fallback scan after a shadow miss at
-// hash position h: a dense tag scan of line's set, repairing the shadow
-// entry on a hit so a collision-evicted shortcut heals itself.
-func (c *cache) scanExact(line uint64, h uint64) int {
-	base := int(line&c.setMask) * c.ways
-	want := c.tagOf(line)
-	tags := c.tags[base : base+c.ways]
-	for w, tag := range tags {
-		if tag == want {
-			s := base + w
-			c.shadow[h] = int32(s + 1)
-			return s
-		}
-		if tag == 0 {
-			return -1
-		}
-	}
-	return -1
-}
-
 // probe returns the hit slot of line (or -1) and the victim slot an
-// install into line's set would use (-1 on a hit). The victim choice is
-// exactly the historical install policy: the lowest-index invalid way
-// if one exists, else the way with the strictly smallest LRU stamp
-// (ties to the lowest index). The LRU stamp pass runs only on a miss in
-// a full set — the one case that actually evicts.
+// install into line's set would use (-1 on a hit), by the
+// verification-twin scan. The victim choice is exactly the historical
+// install policy: the lowest-index invalid way if one exists, else the
+// way with the strictly smallest LRU stamp (ties to the lowest index).
+// The LRU stamp pass runs only on a miss in a full set — the one case
+// that actually evicts.
 func (c *cache) probe(line uint64) (slot, victim int) {
 	base := int(line&c.setMask) * c.ways
-	if c.exact {
-		h := (line * fibMul) >> c.shadowShift
-		if s := int(c.shadow[h]) - 1; s >= 0 && c.lines[s] == line<<1|1 {
-			return s, -1
-		}
-		want := c.tagOf(line)
-		tags := c.tags[base : base+c.ways]
-		for w, tag := range tags {
-			if tag == want {
-				s := base + w
-				c.shadow[h] = int32(s + 1)
-				return s, -1
-			}
-			if tag == 0 {
-				// Valid ways are a prefix (see find), so no hit lies
-				// beyond and this is the lowest-index invalid way.
-				return -1, base + w
-			}
-		}
-		return -1, c.lruOf(base)
-	}
 	want := c.tagOf(line)
 	tags := c.tags[base : base+c.ways]
 	for w, tag := range tags {
@@ -261,7 +185,8 @@ func (c *cache) lruOf(base int) int {
 	return victim
 }
 
-// touch records a use of slot at the given clock for LRU ordering.
+// touch records a use of slot at the given clock for LRU ordering. The
+// directory needs no update: the line's slot does not change.
 func (c *cache) touch(slot int, now uint64) {
 	c.stamps[slot] = now
 }
@@ -270,48 +195,61 @@ func (c *cache) touch(slot int, now uint64) {
 // returns the slot. readyAt is the cycle the fill completes (== now for
 // demand fills, later for prefetch fills).
 func (c *cache) install(line, now, readyAt uint64) int {
-	slot, victim := c.probe(line)
+	slot := c.find(line)
 	if slot < 0 {
-		slot = victim
+		slot = c.victimOf(line)
 	}
 	c.installAt(slot, line, now, readyAt)
 	return slot
 }
 
-// installAt fills a victim slot previously returned by probe, keeping
-// the lookup shortcut current: exact levels record the slot's new line
-// and point its shadow entry here (the evicted line's entry needs no
-// cleanup — it fails verification from now on). The caller guarantees
-// no install or touch hit this set between the probe and the fill, so
-// the victim choice is still current.
+// installAt fills a victim slot previously returned by probe/victimOf,
+// keeping the residency directory current: the evicted line (recovered
+// from the slot's compact tag — always in hand, no scan) drops this
+// level's slot field, and the incoming line gains it. The caller
+// guarantees no install or touch hit this set between the victim choice
+// and the fill, so the choice is still current.
 func (c *cache) installAt(slot int, line, now, readyAt uint64) {
-	if c.exact {
-		c.lines[slot] = line<<1 | 1
-		c.shadow[(line*fibMul)>>c.shadowShift] = int32(slot + 1)
+	c.fillSlot(slot, line, now, readyAt)
+	c.dir.set(line, c.levelShift, slot)
+}
+
+// fillSlot is installAt without the incoming line's directory update:
+// the victim's field is cleared here (the evicted line is in hand from
+// the slot's compact tag), but recording the new residency is left to
+// the caller. The multi-level fill paths use this to batch the incoming
+// line's directory fields — one setFields probe for the whole fill
+// instead of one per level. The directory is inconsistent (missing the
+// new line's field) until that call, so callers must not probe it for
+// this line in between.
+func (c *cache) fillSlot(slot int, line, now, readyAt uint64) {
+	if old := c.tags[slot]; old != 0 {
+		c.dir.clear(uint64(old>>1)<<c.setShift|(line&c.setMask), c.levelShift)
 	}
 	c.tags[slot] = c.tagOf(line)
 	c.stamps[slot] = now
-	c.fill[slot] = fillMeta{readyAt: readyAt}
+	c.ready[slot] = readyAt
+	if c.pref != nil {
+		c.pref[slot] = false
+	}
 }
 
-// invalidateAll clears every line; used by Core.Reset.
+// invalidateAll clears every line (and this level's directory fields);
+// used by Core.Reset.
 func (c *cache) invalidateAll() {
 	for i := range c.tags {
 		c.tags[i] = 0
 		c.stamps[i] = 0
-		c.fill[i] = fillMeta{}
+		c.ready[i] = 0
 	}
-	if c.exact {
-		for i := range c.lines {
-			c.lines[i] = 0
-		}
-		for i := range c.shadow {
-			c.shadow[i] = 0
-		}
+	for i := range c.pref {
+		c.pref[i] = false
 	}
+	c.dir.clearLevel(c.levelShift)
 }
 
-// resident reports whether line is present (regardless of fill state).
+// resident reports whether line is present (regardless of fill state),
+// by the verification-twin scan.
 func (c *cache) resident(line uint64) bool {
 	return c.find(line) >= 0
 }

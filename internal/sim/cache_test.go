@@ -5,77 +5,218 @@ import (
 	"testing"
 )
 
-// TestExactShadowMatchesScan churns an exact (shadow-indexed) cache and
-// a scanned twin through the same random find/touch/install/invalidate
-// sequence and requires identical answers at every step. The two
-// strategies share the set layout and victim policy, so any divergence
-// is a shadow-consistency bug: a stale entry surviving verification, a
-// collision not healing, or an install not updating the index.
-func TestExactShadowMatchesScan(t *testing.T) {
-	cfg := DefaultConfig().L1
-	exact := newCache(cfg, true)
-	scan := newCache(cfg, false)
-	rng := rand.New(rand.NewSource(7))
-
-	// Three times the line capacity: heavy set conflict and steady
-	// shadow-slot collisions via the Fibonacci hash.
-	space := uint64(cfg.Sets()*cfg.Ways) * 3
-	var now uint64
-	for i := 0; i < 300000; i++ {
-		now++
-		if rng.Intn(20000) == 0 {
-			exact.invalidateAll()
-			scan.invalidateAll()
-			continue
-		}
-		line := rng.Uint64() % space
-		se := exact.find(line)
-		ss := scan.find(line)
-		if se != ss {
-			t.Fatalf("op %d line %d: exact find %d, scanned find %d", i, line, se, ss)
-		}
-		if exact.resident(line) != scan.resident(line) {
-			t.Fatalf("op %d line %d: residency disagrees", i, line)
-		}
-		if se >= 0 {
-			exact.touch(se, now)
-			scan.touch(ss, now)
-			continue
-		}
-		ve := exact.victimOf(line)
-		vs := scan.victimOf(line)
-		if ve != vs {
-			t.Fatalf("op %d line %d: exact victim %d, scanned victim %d", i, line, ve, vs)
-		}
-		exact.installAt(ve, line, now, now)
-		scan.installAt(vs, line, now, now)
+// newTestHierarchy builds the three levels of cfg sharing one residency
+// directory, exactly as NewCore wires them.
+func newTestHierarchy(cfg Config) (*residencyDir, []*cache) {
+	dir := newResidencyDir(cfg.L1.slots() + cfg.L2.slots() + cfg.LLC.slots())
+	return dir, []*cache{
+		newCache(cfg.L1, dirL1Shift, dir),
+		newCache(cfg.L2, dirL2Shift, dir),
+		newCache(cfg.LLC, dirLLCShift, dir),
 	}
 }
 
-// TestProbeMatchesFindPlusVictim checks that the fused probe used by the
-// miss path answers exactly what separate find + victimOf calls would.
-func TestProbeMatchesFindPlusVictim(t *testing.T) {
-	for _, ex := range []bool{true, false} {
-		c := newCache(DefaultConfig().L1, ex)
-		rng := rand.New(rand.NewSource(11))
-		space := uint64(c.sets*c.ways) * 2
-		for i := 0; i < 100000; i++ {
-			line := rng.Uint64() % space
-			slot, victim := c.probe(line)
-			if f := c.find(line); f != slot {
-				t.Fatalf("exact=%v op %d: probe slot %d, find %d", ex, i, slot, f)
+// TestDirectoryMatchesScan is the directory-twin fuzz: it churns a full
+// three-level hierarchy through 300k randomized install/evict/touch/
+// invalidate operations and asserts after every one that the unified
+// residency directory and the scanned dense tag arrays agree on the
+// (level, slot) of the operated line — and, on periodic full sweeps,
+// that the two structures agree *bidirectionally* on every resident
+// line in the machine. Any divergence is a directory-maintenance bug:
+// an eviction that failed to clear its field, an install that missed
+// its insert, a backward-shift delete that stranded a cluster entry, or
+// an invalidateAll that left a stale level field behind.
+func TestDirectoryMatchesScan(t *testing.T) {
+	cfg := DefaultConfig()
+	dir, levels := newTestHierarchy(cfg)
+	rng := rand.New(rand.NewSource(7))
+
+	// Three times the LLC's line capacity: heavy set conflict at every
+	// level and steady probe-cluster churn in the directory.
+	space := uint64(cfg.LLC.slots()) * 3
+	var now uint64
+	for i := 0; i < 300000; i++ {
+		now++
+		line := rng.Uint64() % space
+
+		// Per-op agreement on the operated line, all three levels from
+		// the one probe the hot path would issue.
+		e := dir.get(line)
+		for li, lvl := range levels {
+			ds := int((e>>lvl.levelShift)&dirSlotMask) - 1
+			if ss := lvl.find(line); ds != ss {
+				t.Fatalf("op %d line %d level %d: directory slot %d, scanned slot %d", i, line, li, ds, ss)
 			}
-			if slot >= 0 {
-				if victim != -1 {
-					t.Fatalf("exact=%v op %d: hit returned victim %d", ex, i, victim)
-				}
-				c.touch(slot, uint64(i))
+		}
+
+		switch r := rng.Intn(1000); {
+		case r == 0:
+			// Rare whole-level invalidation (Core.Reset path) — the one
+			// O(table) maintenance operation.
+			levels[rng.Intn(3)].invalidateAll()
+		case r < 700:
+			// Demand-like: touch on hit, install over the LRU victim on
+			// a miss, at a random level.
+			lvl := levels[rng.Intn(3)]
+			if s := lvl.find(line); s >= 0 {
+				lvl.touch(s, now)
+			} else {
+				lvl.installAt(lvl.victimOf(line), line, now, now)
+			}
+		default:
+			// Prefetch-like: install into L1 with a future ready cycle,
+			// plus outer installs when absent from both outer levels
+			// (the DRAM fill path). A level is only ever installed into
+			// on a miss at that level — the core never duplicates a
+			// line within a set.
+			if levels[1].find(line) < 0 && levels[2].find(line) < 0 {
+				levels[2].installAt(levels[2].victimOf(line), line, now, now+200)
+				levels[1].installAt(levels[1].victimOf(line), line, now, now+200)
+			}
+			if levels[0].find(line) < 0 {
+				v := levels[0].victimOf(line)
+				levels[0].installAt(v, line, now, now+200)
+				levels[0].pref[v] = true
+			}
+		}
+
+		if i%4096 == 0 {
+			verifyDirectoryTwin(t, i, dir, levels)
+		}
+	}
+	verifyDirectoryTwin(t, 300000, dir, levels)
+}
+
+// verifyDirectoryTwin cross-checks the directory against the dense tag
+// arrays in both directions: every valid slot's line must resolve back
+// to that slot through the directory, every directory field must point
+// at a slot holding its line, and the live entry count must equal the
+// number of distinct resident lines.
+func verifyDirectoryTwin(t *testing.T, op int, dir *residencyDir, levels []*cache) {
+	t.Helper()
+	distinct := map[uint64]struct{}{}
+	for li, lvl := range levels {
+		for slot, tag := range lvl.tags {
+			if tag == 0 {
 				continue
 			}
-			if v := c.victimOf(line); v != victim {
-				t.Fatalf("exact=%v op %d: probe victim %d, victimOf %d", ex, i, victim, v)
+			line := lvl.lineOf(slot)
+			distinct[line] = struct{}{}
+			if got := int((dir.get(line)>>lvl.levelShift)&dirSlotMask) - 1; got != slot {
+				t.Fatalf("op %d: level %d slot %d holds line %d but directory says slot %d", op, li, slot, line, got)
 			}
-			c.installAt(victim, line, uint64(i), uint64(i))
 		}
+	}
+	if n := dir.entries(); n != len(distinct) {
+		t.Fatalf("op %d: %d directory entries for %d distinct resident lines", op, n, len(distinct))
+	}
+	for i := uint64(0); i <= dir.mask; i++ {
+		k := dir.tab[i*2]
+		if k == 0 {
+			continue
+		}
+		line, v := k>>1, dir.tab[i*2+1]
+		if v == 0 {
+			t.Fatalf("op %d: directory entry for line %d has empty value", op, line)
+		}
+		for li, lvl := range levels {
+			s := int((v>>lvl.levelShift)&dirSlotMask) - 1
+			if s < 0 {
+				continue
+			}
+			if s >= len(lvl.tags) || lvl.tags[s] != lvl.tagOf(line) || uint64(s/lvl.ways) != line&lvl.setMask {
+				t.Fatalf("op %d: directory maps line %d to level %d slot %d, which holds tag %#x", op, line, li, s, lvl.tags[s])
+			}
+		}
+	}
+}
+
+// TestDirMatchesMapModel fuzzes the raw directory (set/clear/get/
+// clearLevel/reset) against a map reference model at a high load
+// factor, so probe clusters routinely wrap and backward-shift deletion
+// sees every cluster shape.
+func TestDirMatchesMapModel(t *testing.T) {
+	d := newResidencyDir(24) // 64-entry table; keys below push load near 0.5
+	model := map[uint64]uint64{}
+	shifts := []uint{dirL1Shift, dirL2Shift, dirLLCShift}
+	rng := rand.New(rand.NewSource(11))
+	const space = 60
+
+	for i := 0; i < 200000; i++ {
+		line := rng.Uint64() % space
+		shift := shifts[rng.Intn(3)]
+		switch r := rng.Intn(100); {
+		case r < 45:
+			if len(model) < 30 || model[line] != 0 { // respect sizing: insert only below capacity
+				slot := rng.Intn(dirSlotMask)
+				d.set(line, shift, slot)
+				model[line] = model[line]&^(dirSlotMask<<shift) | uint64(slot+1)<<shift
+			}
+		case r < 90:
+			d.clear(line, shift)
+			if v, ok := model[line]; ok {
+				if v = v &^ (dirSlotMask << shift); v == 0 {
+					delete(model, line)
+				} else {
+					model[line] = v
+				}
+			}
+		case r < 99:
+			d.clearLevel(shift)
+			for k, v := range model {
+				if v = v &^ (dirSlotMask << shift); v == 0 {
+					delete(model, k)
+				} else {
+					model[k] = v
+				}
+			}
+		default:
+			d.reset()
+			model = map[uint64]uint64{}
+		}
+		if got := d.get(line); got != model[line] {
+			t.Fatalf("op %d line %d: directory %#x, model %#x", i, line, got, model[line])
+		}
+		if i%512 == 0 {
+			if n := d.entries(); n != len(model) {
+				t.Fatalf("op %d: %d entries, model has %d", i, n, len(model))
+			}
+			for k, v := range model {
+				if got := d.get(k); got != v {
+					t.Fatalf("op %d line %d: directory %#x, model %#x", i, k, got, v)
+				}
+			}
+		}
+	}
+}
+
+// TestProbeMatchesFindPlusVictim checks that the fused scan probe used
+// by the verification-twin miss path answers exactly what separate
+// find + victimOf calls would.
+func TestProbeMatchesFindPlusVictim(t *testing.T) {
+	cfg := DefaultConfig().L1
+	c := newCache(cfg, dirL1Shift, newResidencyDir(cfg.slots()))
+	rng := rand.New(rand.NewSource(13))
+	space := uint64(c.sets*c.ways) * 2
+	for i := 0; i < 100000; i++ {
+		line := rng.Uint64() % space
+		slot, victim := c.probe(line)
+		if f := c.find(line); f != slot {
+			t.Fatalf("op %d: probe slot %d, find %d", i, slot, f)
+		}
+		if lk := c.lookup(line); lk != slot {
+			t.Fatalf("op %d: directory lookup %d, probe %d", i, lk, slot)
+		}
+		if slot >= 0 {
+			if victim != -1 {
+				t.Fatalf("op %d: hit returned victim %d", i, victim)
+			}
+			c.touch(slot, uint64(i))
+			continue
+		}
+		if v := c.victimOf(line); v != victim {
+			t.Fatalf("op %d: probe victim %d, victimOf %d", i, victim, v)
+		}
+		c.installAt(victim, line, uint64(i), uint64(i))
 	}
 }

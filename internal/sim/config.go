@@ -44,6 +44,9 @@ func (c CacheConfig) Sets() int {
 	return c.SizeBytes / (c.Ways * LineBytes)
 }
 
+// slots returns the level's total line capacity (sets × ways).
+func (c CacheConfig) slots() int { return c.Sets() * c.Ways }
+
 func (c CacheConfig) validate() error {
 	if c.SizeBytes <= 0 || c.Ways <= 0 {
 		return fmt.Errorf("sim: cache %s: size and ways must be positive", c.Name)
@@ -54,6 +57,10 @@ func (c CacheConfig) validate() error {
 	sets := c.Sets()
 	if bits.OnesCount(uint(sets)) != 1 {
 		return fmt.Errorf("sim: cache %s: set count %d is not a power of two", c.Name, sets)
+	}
+	if c.slots() > dirSlotMask {
+		return fmt.Errorf("sim: cache %s: %d slots exceed the residency directory's per-level field (max %d lines, %d MiB)",
+			c.Name, c.slots(), dirSlotMask, dirSlotMask*LineBytes>>20)
 	}
 	return nil
 }

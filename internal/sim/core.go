@@ -3,7 +3,8 @@ package sim
 import "fmt"
 
 // Core is one simulated CPU core: a cycle clock, a private three-level
-// cache hierarchy, a bounded asynchronous prefetcher, and a PMU.
+// cache hierarchy indexed by a unified residency directory, a bounded
+// asynchronous prefetcher, and a PMU.
 //
 // A Core is not safe for concurrent use; the runtime gives each worker
 // its own Core, matching the paper's share-nothing per-core design.
@@ -16,13 +17,29 @@ type Core struct {
 	llc   *cache
 	ctr   Counters
 
-	// outstanding holds readyAt cycles of in-flight prefetch fills; its
-	// live entries (readyAt > clock) occupy MSHRs.
-	outstanding []uint64
-	// minReady is the earliest readyAt in outstanding; while the clock
-	// is below it no entry can have expired, so the occupancy check is
-	// a comparison instead of a compaction scan.
-	minReady uint64
+	// dir is the unified residency directory (see dir.go): one probe
+	// answers which level — if any — holds a line, so the demand-miss
+	// and prefetch paths never scan a tag array.
+	dir *residencyDir
+	// scan, when true, routes every lookup through the historical
+	// dense tag scans instead of the directory (SetScanLookups). The
+	// two strategies read the same maintained state and must produce
+	// bit-identical simulated results; the differential tests hold
+	// them to that.
+	scan bool
+
+	// MSHR bookkeeping: mshrReady holds the fill-complete cycle of each
+	// occupied MSHR (0 = free slot), mshrFree is a ring of free slot
+	// indexes, and mshrInFlight counts occupied slots. minReady is the
+	// earliest completion among them; while the clock is below it no
+	// fill can have retired, so the occupancy check is one comparison
+	// and the drain scan runs only when something actually completed.
+	mshrReady    []uint64
+	mshrFree     []int32
+	mshrFreeHead int
+	mshrFreeTail int
+	mshrInFlight int
+	minReady     uint64
 
 	// trc, when non-nil, receives cycle-timestamped trace events;
 	// curTask and curCS are the attribution stamps (see trace.go).
@@ -54,16 +71,22 @@ func NewCore(cfg Config) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: invalid config: %w", err)
 	}
+	dir := newResidencyDir(cfg.L1.slots() + cfg.L2.slots() + cfg.LLC.slots())
 	c := &Core{
 		cfg:         cfg,
-		l1:          newCache(cfg.L1, true),
-		l2:          newCache(cfg.L2, false),
-		llc:         newCache(cfg.LLC, false),
-		outstanding: make([]uint64, 0, cfg.MSHRs),
+		dir:         dir,
+		l1:          newCache(cfg.L1, dirL1Shift, dir),
+		l2:          newCache(cfg.L2, dirL2Shift, dir),
+		llc:         newCache(cfg.LLC, dirLLCShift, dir),
+		mshrReady:   make([]uint64, cfg.MSHRs),
+		mshrFree:    make([]int32, cfg.MSHRs),
 		switchInsts: cfg.SwitchCost * cfg.IssueWidth / 2,
 		switchCost:  cfg.SwitchCost,
 		curTask:     -1,
 		curCS:       -1,
+	}
+	for i := range c.mshrFree {
+		c.mshrFree[i] = int32(i)
 	}
 	if w := cfg.IssueWidth; w&(w-1) == 0 {
 		c.issuePow2 = true
@@ -91,15 +114,29 @@ func (c *Core) Counters() Counters {
 	return ctr
 }
 
-// Reset clears the clock, counters, caches and prefetch state, so one
-// core can run back-to-back experiments from a cold start.
+// SetScanLookups selects the lookup strategy: false (the default) uses
+// the unified residency directory, true the historical dense tag scans.
+// Both structures are maintained at every install regardless of mode,
+// so the switch is valid at any point and changes host cost only —
+// never a simulated result. The scan twin exists for differential
+// verification; leave it off outside tests.
+func (c *Core) SetScanLookups(on bool) { c.scan = on }
+
+// Reset clears the clock, counters, caches, directory and prefetch
+// state, so one core can run back-to-back experiments from a cold start.
 func (c *Core) Reset() {
 	c.clock = 0
 	c.ctr = Counters{}
 	c.l1.invalidateAll()
 	c.l2.invalidateAll()
 	c.llc.invalidateAll()
-	c.outstanding = c.outstanding[:0]
+	for i := range c.mshrReady {
+		c.mshrReady[i] = 0
+		c.mshrFree[i] = int32(i)
+	}
+	c.mshrFreeHead = 0
+	c.mshrFreeTail = 0
+	c.mshrInFlight = 0
 	c.minReady = 0
 	c.curTask = -1
 	c.curCS = -1
@@ -147,27 +184,31 @@ func (c *Core) emitSwitch() {
 }
 
 // Read charges a demand read of size bytes at addr. The body is the
-// exact L1 fast path: a single-line span that hits a completed,
-// non-prefetched L1 line charges its counters inline — the identical
-// updates the general path's access() would make — and everything else
-// falls through to the full burst machinery.
+// exact L1 fast path: a single-line span whose first directory probe
+// lands on its entry with a completed, non-prefetched L1 slot charges
+// its counters inline — the identical updates the general path's
+// access() would make — and everything else falls through to the full
+// burst machinery.
 func (c *Core) Read(addr, size uint64) {
 	line := addr >> lineShift
-	if (addr+size-1)>>lineShift == line && size != 0 && c.alog == nil {
-		l1 := c.l1
-		h := (line * fibMul) >> l1.shadowShift
-		if slot := int(l1.shadow[h]) - 1; slot >= 0 && l1.lines[slot] == line<<1|1 {
-			if f := &l1.fill[slot]; f.readyAt <= c.clock && !f.prefetched {
-				c.ctr.Reads++
-				c.ctr.Instructions++
-				c.ctr.L1Hits++
-				c.clock += c.cfg.L1.HitLatency
-				l1.stamps[slot] = c.clock
-				return
+	if (addr+size-1)>>lineShift == line && size != 0 && c.alog == nil && !c.scan {
+		d := c.dir
+		i := ((line * fibMul) >> d.shift) * 2
+		if d.tab[i] == line<<1|1 {
+			if s := d.tab[i+1] & dirSlotMask; s != 0 {
+				slot := int(s) - 1
+				if c.l1.ready[slot] <= c.clock && !c.l1.pref[slot] {
+					c.ctr.Reads++
+					c.ctr.Instructions++
+					c.ctr.L1Hits++
+					c.clock += c.cfg.L1.HitLatency
+					c.l1.stamps[slot] = c.clock
+					return
+				}
 			}
 		}
-		// Shadow miss: the line may still be L1-resident behind a hash
-		// collision — burst's full probe settles it identically.
+		// First-probe mismatch: the entry may sit behind a collision —
+		// burst's full directory probe settles it identically.
 	}
 	c.burst(addr, size, false)
 }
@@ -176,17 +217,20 @@ func (c *Core) Read(addr, size uint64) {
 // so they follow the same path as reads, including the L1 fast path.
 func (c *Core) Write(addr, size uint64) {
 	line := addr >> lineShift
-	if (addr+size-1)>>lineShift == line && size != 0 && c.alog == nil {
-		l1 := c.l1
-		h := (line * fibMul) >> l1.shadowShift
-		if slot := int(l1.shadow[h]) - 1; slot >= 0 && l1.lines[slot] == line<<1|1 {
-			if f := &l1.fill[slot]; f.readyAt <= c.clock && !f.prefetched {
-				c.ctr.Writes++
-				c.ctr.Instructions++
-				c.ctr.L1Hits++
-				c.clock += c.cfg.L1.HitLatency
-				l1.stamps[slot] = c.clock
-				return
+	if (addr+size-1)>>lineShift == line && size != 0 && c.alog == nil && !c.scan {
+		d := c.dir
+		i := ((line * fibMul) >> d.shift) * 2
+		if d.tab[i] == line<<1|1 {
+			if s := d.tab[i+1] & dirSlotMask; s != 0 {
+				slot := int(s) - 1
+				if c.l1.ready[slot] <= c.clock && !c.l1.pref[slot] {
+					c.ctr.Writes++
+					c.ctr.Instructions++
+					c.ctr.L1Hits++
+					c.clock += c.cfg.L1.HitLatency
+					c.l1.stamps[slot] = c.clock
+					return
+				}
 			}
 		}
 	}
@@ -234,20 +278,90 @@ func (c *Core) burst(addr, size uint64, write bool) {
 // line in the same burst already paid a full miss. It reports whether
 // this access missed L1 entirely (i.e. was not an L1 or in-flight hit).
 //
-// Each level is probed exactly once: the probe that misses also yields
-// the install victim, which stays valid because nothing touches that
-// set again before the install (only outer levels and the clock move).
+// One directory probe resolves the whole hierarchy: the L1 field is the
+// hit path, an outer field is the outer hit, and an absent entry is the
+// DRAM case — no level is scanned. Victims are picked per installed
+// level at install time, which is the same choice the historical
+// probe-time pick made: nothing touches those sets in between (only
+// outer levels and the clock move, and the clock never writes a stamp).
 func (c *Core) access(line uint64, overlapped bool) bool {
+	if c.scan {
+		return c.accessScan(line, overlapped)
+	}
+	e := c.dir.get(line)
+	if s := e & dirSlotMask; s != 0 {
+		// L1 demand hit — the simulator's hottest operation, kept flat
+		// here. Only prefetched or in-flight lines take the outlined
+		// slow path.
+		slot := int(s) - 1
+		c.ctr.L1Hits++
+		if c.l1.ready[slot] > c.clock || c.l1.pref[slot] {
+			c.demandHitPrefetched(slot)
+		}
+		c.clock += c.cfg.L1.HitLatency
+		c.l1.stamps[slot] = c.clock
+		return false
+	}
+	c.ctr.L1Misses++
+	// Installed levels accumulate their directory fields in val; one
+	// setFields probe at the end records the whole fill (the cluster is
+	// already host-warm from the get above). Victim fields are cleared
+	// eagerly inside fillSlot.
+	var lat, mask, val uint64
+	cause := CauseL2
+	if s := (e >> dirL2Shift) & dirSlotMask; s != 0 {
+		slot := int(s) - 1
+		c.ctr.L2Hits++
+		lat = c.waitReady(c.l2, slot, c.cfg.L2.HitLatency)
+		c.l2.touch(slot, c.clock)
+	} else {
+		c.ctr.L2Misses++
+		if s := e >> dirLLCShift; s != 0 {
+			slot := int(s) - 1
+			c.ctr.LLCHits++
+			cause = CauseLLC
+			lat = c.waitReady(c.llc, slot, c.cfg.LLC.HitLatency)
+			c.llc.touch(slot, c.clock)
+		} else {
+			c.ctr.LLCMisses++
+			cause = CauseDRAM
+			lat = c.cfg.DRAMLatency
+			v3 := c.llc.victimOf(line)
+			c.llc.fillSlot(v3, line, c.clock, c.clock)
+			mask |= dirSlotMask << dirLLCShift
+			val |= uint64(v3+1) << dirLLCShift
+		}
+		v2 := c.l2.victimOf(line)
+		c.l2.fillSlot(v2, line, c.clock, c.clock)
+		mask |= dirSlotMask << dirL2Shift
+		val |= uint64(v2+1) << dirL2Shift
+	}
+	if overlapped && lat > c.cfg.BurstGap {
+		lat = c.cfg.BurstGap
+	}
+	c.clock += lat
+	c.ctr.StallCycles += lat
+	if c.trc != nil {
+		c.Emit(TraceStall, cause, lat, line<<lineShift, 0)
+	}
+	v1 := c.l1.victimOf(line)
+	c.l1.fillSlot(v1, line, c.clock, c.clock)
+	c.dir.setFields(line, mask|dirSlotMask<<dirL1Shift, val|uint64(v1+1)<<dirL1Shift)
+	return true
+}
+
+// accessScan is the verification-twin access path: identical logic to
+// access driven by the historical per-level dense tag scans (the fused
+// probe returns both the hit slot and the install victim). Each level
+// is probed exactly once; the probe that misses also yields the install
+// victim, which stays valid because nothing touches that set again
+// before the install.
+func (c *Core) accessScan(line uint64, overlapped bool) bool {
 	slot, v1 := c.l1.probe(line)
 	if slot >= 0 {
-		// L1 demand hit — the simulator's hottest operation, kept flat
-		// here (access cannot inline a helper carrying the prefetch
-		// bookkeeping and stay profitable). Only prefetched or
-		// in-flight lines take the outlined slow path.
 		c.ctr.L1Hits++
-		f := &c.l1.fill[slot]
-		if f.readyAt > c.clock || f.prefetched {
-			c.demandHitPrefetched(f)
+		if c.l1.ready[slot] > c.clock || c.l1.pref[slot] {
+			c.demandHitPrefetched(slot)
 		}
 		c.clock += c.cfg.L1.HitLatency
 		c.l1.stamps[slot] = c.clock
@@ -287,24 +401,24 @@ func (c *Core) access(line uint64, overlapped bool) bool {
 	return true
 }
 
-// demandHitPrefetched resolves a demand hit on a prefetched line:
+// demandHitPrefetched resolves a demand hit on a prefetched L1 line:
 // either the fill is still in flight (stall for the remainder — a late
 // prefetch) or it completed and the prefetch was useful.
 //
 //go:noinline
-func (c *Core) demandHitPrefetched(f *fillMeta) {
-	if f.readyAt > c.clock {
-		stall := f.readyAt - c.clock
+func (c *Core) demandHitPrefetched(slot int) {
+	if r := c.l1.ready[slot]; r > c.clock {
+		stall := r - c.clock
 		c.clock += stall
 		c.ctr.StallCycles += stall
 		c.ctr.PrefetchLate++
-		f.prefetched = false
+		c.l1.pref[slot] = false
 		if c.trc != nil {
 			c.Emit(TraceStall, CausePrefetchLate, stall, 0, 0)
 		}
-	} else if f.prefetched {
+	} else if c.l1.pref[slot] {
 		c.ctr.PrefetchUseful++
-		f.prefetched = false
+		c.l1.pref[slot] = false
 		if c.trc != nil {
 			c.Emit(TracePrefetchUseful, CauseNone, 0, 0, 0)
 		}
@@ -316,7 +430,7 @@ func (c *Core) demandHitPrefetched(f *fillMeta) {
 // minus the stall (stall is applied immediately). The stall branch is
 // outlined (stallLate) to keep waitReady inlinable.
 func (c *Core) waitReady(lvl *cache, slot int, hitLat uint64) uint64 {
-	if ready := lvl.fill[slot].readyAt; ready > c.clock {
+	if ready := lvl.ready[slot]; ready > c.clock {
 		c.stallLate(ready - c.clock)
 	}
 	return hitLat
@@ -366,29 +480,107 @@ func (c *Core) prefetchLine(line uint64) {
 	}
 	c.clock += c.cfg.PrefetchIssueCost
 	c.ctr.Instructions++
-	if c.l1.find(line) >= 0 {
-		c.ctr.PrefetchRedundant++
-		if c.trc != nil {
-			c.Emit(TracePrefetchRedundant, CauseNone, line<<lineShift, 0, 0)
+	if c.scan {
+		if c.l1.find(line) >= 0 {
+			c.prefetchRedundant(line)
+			return
 		}
+		c.prefetchMissScan(line)
 		return
 	}
-	c.prefetchMiss(line)
+	// One directory probe answers the redundancy check and — on a miss
+	// — where the fill comes from; prefetchMissAt reuses it.
+	e := c.dir.get(line)
+	if e&dirSlotMask != 0 {
+		c.prefetchRedundant(line)
+		return
+	}
+	c.prefetchMissAt(line, e)
+}
+
+// prefetchRedundant charges a prefetch for a line already in L1.
+func (c *Core) prefetchRedundant(line uint64) {
+	c.ctr.PrefetchRedundant++
+	if c.trc != nil {
+		c.Emit(TracePrefetchRedundant, CauseNone, line<<lineShift, 0, 0)
+	}
 }
 
 // prefetchMiss is the tail of a prefetch issue for a line known absent
 // from L1: MSHR admission, fill-latency determination and the installs.
 func (c *Core) prefetchMiss(line uint64) {
-	if c.activeMSHRs() >= c.cfg.MSHRs {
-		c.ctr.PrefetchDropped++
-		if c.trc != nil {
-			c.Emit(TracePrefetchDropped, CauseNone, line<<lineShift, 0, 0)
-		}
+	if c.scan {
+		c.prefetchMissScan(line)
+		return
+	}
+	c.prefetchMissAt(line, c.dir.get(line))
+}
+
+// prefetchMissAt finishes a prefetch issue given the line's directory
+// value e (its L1 field is zero: the caller established absence).
+func (c *Core) prefetchMissAt(line uint64, e uint64) {
+	if c.mshrInFlight > 0 && c.clock >= c.minReady {
+		c.drainMSHRs()
+	}
+	if c.mshrInFlight >= c.cfg.MSHRs {
+		c.prefetchDropped(line)
 		return
 	}
 	// Fill latency depends on where the line currently lives. Victims
 	// are picked lazily — only the levels actually installed into pay
-	// the LRU pass, and redundant/dropped issues above pay none.
+	// the LRU pass, and redundant/dropped issues above pay none. As in
+	// access, installed levels batch their directory fields into one
+	// setFields probe on the warm cluster.
+	var mask, val, fill uint64
+	if (e>>dirL2Shift)&dirSlotMask != 0 {
+		fill = c.cfg.L2.HitLatency
+	} else if e>>dirLLCShift != 0 {
+		fill = c.cfg.LLC.HitLatency
+	} else {
+		fill = c.cfg.DRAMLatency
+		v3 := c.llc.victimOf(line)
+		c.llc.fillSlot(v3, line, c.clock, c.clock+fill)
+		v2 := c.l2.victimOf(line)
+		c.l2.fillSlot(v2, line, c.clock, c.clock+fill)
+		mask = dirSlotMask<<dirLLCShift | dirSlotMask<<dirL2Shift
+		val = uint64(v3+1)<<dirLLCShift | uint64(v2+1)<<dirL2Shift
+	}
+	ready := c.clock + fill
+	v1 := c.l1.victimOf(line)
+	c.l1.fillSlot(v1, line, c.clock, ready)
+	c.l1.pref[v1] = true
+	c.dir.setFields(line, mask|dirSlotMask<<dirL1Shift, val|uint64(v1+1)<<dirL1Shift)
+	c.mshrPush(ready)
+	c.ctr.PrefetchIssued++
+	if c.trc != nil {
+		c.Emit(TracePrefetchIssued, CauseNone, line<<lineShift, ready, 0)
+	}
+}
+
+// mshrPush occupies one MSHR until the fill completes at ready.
+func (c *Core) mshrPush(ready uint64) {
+	idx := c.mshrFree[c.mshrFreeHead]
+	c.mshrFreeHead++
+	if c.mshrFreeHead == len(c.mshrFree) {
+		c.mshrFreeHead = 0
+	}
+	c.mshrReady[idx] = ready
+	c.mshrInFlight++
+	if c.mshrInFlight == 1 || ready < c.minReady {
+		c.minReady = ready
+	}
+}
+
+// prefetchMissScan is the verification-twin tail of a prefetch issue,
+// probing the outer levels by dense tag scan.
+func (c *Core) prefetchMissScan(line uint64) {
+	if c.mshrInFlight > 0 && c.clock >= c.minReady {
+		c.drainMSHRs()
+	}
+	if c.mshrInFlight >= c.cfg.MSHRs {
+		c.prefetchDropped(line)
+		return
+	}
 	var fill uint64
 	if c.l2.find(line) >= 0 {
 		fill = c.cfg.L2.HitLatency
@@ -402,41 +594,56 @@ func (c *Core) prefetchMiss(line uint64) {
 	ready := c.clock + fill
 	v1 := c.l1.victimOf(line)
 	c.l1.installAt(v1, line, c.clock, ready)
-	c.l1.fill[v1].prefetched = true
-	if len(c.outstanding) == 0 || ready < c.minReady {
-		c.minReady = ready
-	}
-	c.outstanding = append(c.outstanding, ready)
+	c.l1.pref[v1] = true
+	c.mshrPush(ready)
 	c.ctr.PrefetchIssued++
 	if c.trc != nil {
 		c.Emit(TracePrefetchIssued, CauseNone, line<<lineShift, ready, 0)
 	}
 }
 
-// activeMSHRs returns the number of fills still in flight at the
-// current clock. The outstanding list is compacted lazily: while the
-// clock has not reached the earliest completion (minReady), every entry
-// is still live and the check is a single comparison.
-func (c *Core) activeMSHRs() int {
-	if len(c.outstanding) == 0 {
-		return 0
+// prefetchDropped charges a prefetch rejected for want of MSHRs.
+func (c *Core) prefetchDropped(line uint64) {
+	c.ctr.PrefetchDropped++
+	if c.trc != nil {
+		c.Emit(TracePrefetchDropped, CauseNone, line<<lineShift, 0, 0)
 	}
-	if c.clock < c.minReady {
-		return len(c.outstanding)
-	}
-	live := c.outstanding[:0]
+}
+
+// drainMSHRs retires every fill whose completion cycle has passed,
+// returning its slot to the free ring, and recomputes minReady over the
+// survivors. Callers gate on clock >= minReady, so between completions
+// the occupancy check never scans.
+func (c *Core) drainMSHRs() {
 	next := ^uint64(0)
-	for _, ready := range c.outstanding {
-		if ready > c.clock {
-			live = append(live, ready)
-			if ready < next {
-				next = ready
-			}
+	for i, r := range c.mshrReady {
+		if r == 0 {
+			continue
 		}
+		if r > c.clock {
+			if r < next {
+				next = r
+			}
+			continue
+		}
+		c.mshrReady[i] = 0
+		c.mshrFree[c.mshrFreeTail] = int32(i)
+		c.mshrFreeTail++
+		if c.mshrFreeTail == len(c.mshrFree) {
+			c.mshrFreeTail = 0
+		}
+		c.mshrInFlight--
 	}
-	c.outstanding = live
 	c.minReady = next
-	return len(live)
+}
+
+// activeMSHRs returns the number of fills still in flight at the
+// current clock; diagnostic twin of the admission check.
+func (c *Core) activeMSHRs() int {
+	if c.mshrInFlight > 0 && c.clock >= c.minReady {
+		c.drainMSHRs()
+	}
+	return c.mshrInFlight
 }
 
 // DMAFill installs the lines of [addr, addr+size) into the LLC without
@@ -450,8 +657,12 @@ func (c *Core) DMAFill(addr, size uint64) {
 	first := addr >> lineShift
 	last := (addr + size - 1) >> lineShift
 	for line := first; line <= last; line++ {
-		if slot, victim := c.llc.probe(line); slot < 0 {
-			c.llc.installAt(victim, line, c.clock, c.clock)
+		if c.scan {
+			if slot, victim := c.llc.probe(line); slot < 0 {
+				c.llc.installAt(victim, line, c.clock, c.clock)
+			}
+		} else if c.dir.get(line)>>dirLLCShift == 0 {
+			c.llc.installAt(c.llc.victimOf(line), line, c.clock, c.clock)
 		}
 	}
 }
@@ -465,11 +676,16 @@ func (c *Core) ResidentL1(addr, size uint64) bool {
 	}
 	first := addr >> lineShift
 	last := (addr + size - 1) >> lineShift
-	if first == last {
-		return c.l1.find(first) >= 0
+	if c.scan {
+		for line := first; line <= last; line++ {
+			if c.l1.find(line) < 0 {
+				return false
+			}
+		}
+		return true
 	}
 	for line := first; line <= last; line++ {
-		if c.l1.find(line) < 0 {
+		if c.dir.get(line)&dirSlotMask == 0 {
 			return false
 		}
 	}
@@ -477,17 +693,22 @@ func (c *Core) ResidentL1(addr, size uint64) bool {
 }
 
 // ResidentL1Line reports whether the single line containing addr is
-// present in L1 (in-flight fills count as present): one verified shadow
+// present in L1 (in-flight fills count as present): one directory
 // probe in the common case, the pre-resolved form of ResidentL1 used by
-// compiled step plans. The probe body is spelled out here (rather than
-// delegating to the cache's find) so the call inlines into the
-// scheduler's P-state check loop.
+// compiled step plans. The first probe is spelled out here (rather than
+// delegating to the directory's looped get) so the call inlines into
+// the scheduler's P-state check loop.
 func (c *Core) ResidentL1Line(addr uint64) bool {
 	line := addr >> lineShift
-	l1 := c.l1
-	h := (line * fibMul) >> l1.shadowShift
-	if s := int(l1.shadow[h]) - 1; s >= 0 && l1.lines[s] == line<<1|1 {
-		return true
+	if c.scan {
+		return c.l1.find(line) >= 0
 	}
-	return l1.scanExact(line, h) >= 0
+	d := c.dir
+	i := ((line * fibMul) >> d.shift) * 2
+	if k := d.tab[i]; k == line<<1|1 {
+		return d.tab[i+1]&dirSlotMask != 0
+	} else if k == 0 {
+		return false
+	}
+	return d.get(line)&dirSlotMask != 0
 }

@@ -1,0 +1,225 @@
+package sim
+
+// The unified residency directory: one open-addressed, Fibonacci-hashed
+// table keyed by line number whose value packs the line's slot in every
+// cache level it currently occupies. It replaces the per-level lookup
+// walk (L1 shadow index, then cold L2 and LLC dense tag scans) with a
+// single probe that resolves *any* level at once — and a directory miss
+// *is* the DRAM case, so the demand-miss and prefetch-probe hot paths
+// touch no per-level tag array at all.
+//
+// Invariants (checked continuously by the scan-twin fuzz and
+// differential tests):
+//
+//   - One entry per resident line. A line resident in several levels
+//     (the common case right after a DRAM fill) has one entry whose
+//     value carries one slot field per level; a line resident nowhere
+//     has no entry.
+//   - Every maintenance site is O(1) amortized. Installs know the slot
+//     they fill, and the evicted line is always in hand at install time
+//     (recovered from the victim slot's compact tag plus the shared set
+//     index), so eviction updates are a field clear — no scan ever runs
+//     to find what fell out.
+//   - The directory is a host-side accelerator over the same simulated
+//     state the dense tag arrays hold. The tag arrays remain fully
+//     maintained as the *verification twin*: Core.SetScanLookups routes
+//     every lookup through the historical scans instead, and the twin
+//     must produce bit-identical access logs, counters and clocks.
+//
+// Geometry: the table is a flat []uint64 with entries at stride 2 —
+// key at 2i (line<<1|1, 0 = empty), packed value at 2i+1 — so one probe
+// reads key and value from the same host cache line. Linear probing,
+// backward-shift deletion (no tombstones, so probe lengths never rot).
+// Sized at the next power of two above twice the hierarchy's total slot
+// count, the load factor stays below one half and probes average close
+// to a single touch.
+
+// dirSlotBits is the width of one per-level slot field in a directory
+// value: slot+1 in bits [shift, shift+dirSlotBits), 0 = not resident at
+// that level. 21 bits bound each level at 2^21-1 slots (128 MiB of
+// 64 B lines), enforced by CacheConfig.validate.
+const (
+	dirSlotBits = 21
+	dirSlotMask = 1<<dirSlotBits - 1
+
+	// Per-level field shifts. cache.levelShift holds one of these.
+	dirL1Shift  = 0
+	dirL2Shift  = dirSlotBits
+	dirLLCShift = 2 * dirSlotBits
+)
+
+// residencyDir is the unified residency directory shared by the three
+// levels of one Core (or attached to standalone caches in tests).
+type residencyDir struct {
+	// tab holds entries at stride 2: tab[2i] is the key (line<<1|1,
+	// 0 = empty), tab[2i+1] the packed per-level slot fields.
+	tab []uint64
+	// mask is entryCount-1 for index wrapping.
+	mask uint64
+	// shift maps a Fibonacci-hashed line's top bits onto entry indexes.
+	shift uint
+}
+
+// newResidencyDir sizes a directory for a hierarchy holding at most
+// slots resident lines: the table gets the next power of two at or
+// above twice that, keeping the load factor under one half.
+func newResidencyDir(slots int) *residencyDir {
+	size := 1
+	for size < slots*2 {
+		size <<= 1
+	}
+	shift := uint(64)
+	for 1<<(64-shift) < size {
+		shift--
+	}
+	return &residencyDir{
+		tab:   make([]uint64, 2*size),
+		mask:  uint64(size - 1),
+		shift: shift,
+	}
+}
+
+// get returns line's packed residency value, or 0 when the line is
+// resident nowhere (the DRAM case). One probe in the common case; the
+// walk past occupied neighbours is collision overflow only.
+func (d *residencyDir) get(line uint64) uint64 {
+	key := line<<1 | 1
+	i := (line * fibMul) >> d.shift
+	for {
+		k := d.tab[i*2]
+		if k == key {
+			return d.tab[i*2+1]
+		}
+		if k == 0 {
+			return 0
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// set records that line now occupies slot at the level identified by
+// shift (one of dirL1Shift/dirL2Shift/dirLLCShift), creating the
+// line's entry if this is its first resident level.
+func (d *residencyDir) set(line uint64, shift uint, slot int) {
+	d.setFields(line, dirSlotMask<<shift, uint64(slot+1)<<shift)
+}
+
+// setFields applies several slot fields to line's entry in one probe:
+// the bits under mask are replaced by val (val must lie within mask),
+// and the entry is created when absent. The fill paths use this to
+// record a line's install into every level it entered — up to three
+// fields — with a single walk of the probe cluster, which the lookup
+// that preceded the fill has already pulled into the host's cache.
+func (d *residencyDir) setFields(line uint64, mask, val uint64) {
+	key := line<<1 | 1
+	i := (line * fibMul) >> d.shift
+	for {
+		k := d.tab[i*2]
+		if k == key {
+			d.tab[i*2+1] = d.tab[i*2+1]&^mask | val
+			return
+		}
+		if k == 0 {
+			d.tab[i*2] = key
+			d.tab[i*2+1] = val
+			return
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// clear removes line's slot field for the level identified by shift,
+// deleting the whole entry when that was its last resident level. A
+// clear for an absent line is a no-op (never happens from cache
+// maintenance; tolerated for robustness).
+func (d *residencyDir) clear(line uint64, shift uint) {
+	key := line<<1 | 1
+	i := (line * fibMul) >> d.shift
+	for {
+		k := d.tab[i*2]
+		if k == key {
+			if v := d.tab[i*2+1] &^ (dirSlotMask << shift); v != 0 {
+				d.tab[i*2+1] = v
+			} else {
+				d.del(i)
+			}
+			return
+		}
+		if k == 0 {
+			return
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// del removes the entry at index i by backward-shift deletion: entries
+// in the probe cluster after i that hash at or before the hole move
+// back into it, so lookups never need tombstones and probe lengths
+// stay tied to the live load factor.
+func (d *residencyDir) del(i uint64) {
+	j := i
+	for {
+		j = (j + 1) & d.mask
+		k := d.tab[j*2]
+		if k == 0 {
+			break
+		}
+		// Home position of the entry at j. It may fill the hole at i
+		// only if its home does not lie cyclically within (i, j] —
+		// otherwise a probe for it starting at home would stop at the
+		// new hole j before reaching it.
+		h := ((k >> 1) * fibMul) >> d.shift
+		if (j-h)&d.mask >= (j-i)&d.mask {
+			d.tab[i*2], d.tab[i*2+1] = k, d.tab[j*2+1]
+			i = j
+		}
+	}
+	d.tab[i*2], d.tab[i*2+1] = 0, 0
+}
+
+// clearLevel strips the slot field of the level identified by shift
+// from every entry, deleting entries left empty — the invalidateAll of
+// one attached cache. Implemented as a rebuild (collect survivors,
+// zero, re-insert) rather than in-place deletion: backward-shift
+// deletes during a forward sweep can move a not-yet-visited entry into
+// an already-swept position when a probe cluster wraps the table end.
+// O(table), used only on reset paths.
+func (d *residencyDir) clearLevel(shift uint) {
+	type kv struct{ k, v uint64 }
+	var live []kv
+	for i := uint64(0); i <= d.mask; i++ {
+		k := d.tab[i*2]
+		if k == 0 {
+			continue
+		}
+		if v := d.tab[i*2+1] &^ (dirSlotMask << shift); v != 0 {
+			live = append(live, kv{k, v})
+		}
+		d.tab[i*2], d.tab[i*2+1] = 0, 0
+	}
+	for _, e := range live {
+		i := ((e.k >> 1) * fibMul) >> d.shift
+		for d.tab[i*2] != 0 {
+			i = (i + 1) & d.mask
+		}
+		d.tab[i*2], d.tab[i*2+1] = e.k, e.v
+	}
+}
+
+// reset empties the directory; used by Core.Reset.
+func (d *residencyDir) reset() {
+	for i := range d.tab {
+		d.tab[i] = 0
+	}
+}
+
+// entries counts live entries; test and diagnostics helper.
+func (d *residencyDir) entries() int {
+	n := 0
+	for i := uint64(0); i <= d.mask; i++ {
+		if d.tab[i*2] != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -4,8 +4,8 @@ package sim
 // internal/model's plan compiler). Plans lower every declared access to
 // a (base-table index, pre-added offset) pair; the loops that charge
 // those accesses live here, on the Core, so one call per phase replaces
-// one call per access and the cache pointers, clock and counters stay
-// register-resident across a whole span list.
+// one call per access and the directory pointer, clock and counters
+// stay register-resident across a whole span list.
 //
 // The charged sequence is identical to calling Read/Write/Prefetch/
 // ResidentL1 once per op in op order — the loops below are those calls
@@ -29,23 +29,30 @@ type FetchOp struct {
 }
 
 // ReadSpans charges a demand read per op, exactly Read(addr, size) in
-// op order.
+// op order. The single-line L1-hit fast path is the first directory
+// probe spelled out inline (Read's own fast path, hoisted into the
+// loop); anything else — collision, outer-level residency, in-flight
+// fill, multi-line span — falls through to the full burst machinery.
 func (c *Core) ReadSpans(bases *[8]uint64, ops []PlanOp) {
-	l1 := c.l1
+	d := c.dir
+	fast := c.alog == nil && !c.scan
 	for i := range ops {
 		op := &ops[i]
 		addr := bases[op.Base&7] + op.Off
 		line := addr >> lineShift
-		if (addr+op.Size-1)>>lineShift == line && op.Size != 0 && c.alog == nil {
-			h := (line * fibMul) >> l1.shadowShift
-			if slot := int(l1.shadow[h]) - 1; slot >= 0 && l1.lines[slot] == line<<1|1 {
-				if f := &l1.fill[slot]; f.readyAt <= c.clock && !f.prefetched {
-					c.ctr.Reads++
-					c.ctr.Instructions++
-					c.ctr.L1Hits++
-					c.clock += c.cfg.L1.HitLatency
-					l1.stamps[slot] = c.clock
-					continue
+		if fast && (addr+op.Size-1)>>lineShift == line && op.Size != 0 {
+			j := ((line * fibMul) >> d.shift) * 2
+			if d.tab[j] == line<<1|1 {
+				if s := d.tab[j+1] & dirSlotMask; s != 0 {
+					slot := int(s) - 1
+					if c.l1.ready[slot] <= c.clock && !c.l1.pref[slot] {
+						c.ctr.Reads++
+						c.ctr.Instructions++
+						c.ctr.L1Hits++
+						c.clock += c.cfg.L1.HitLatency
+						c.l1.stamps[slot] = c.clock
+						continue
+					}
 				}
 			}
 		}
@@ -56,21 +63,25 @@ func (c *Core) ReadSpans(bases *[8]uint64, ops []PlanOp) {
 // WriteSpans charges a demand write per op, exactly Write(addr, size)
 // in op order.
 func (c *Core) WriteSpans(bases *[8]uint64, ops []PlanOp) {
-	l1 := c.l1
+	d := c.dir
+	fast := c.alog == nil && !c.scan
 	for i := range ops {
 		op := &ops[i]
 		addr := bases[op.Base&7] + op.Off
 		line := addr >> lineShift
-		if (addr+op.Size-1)>>lineShift == line && op.Size != 0 && c.alog == nil {
-			h := (line * fibMul) >> l1.shadowShift
-			if slot := int(l1.shadow[h]) - 1; slot >= 0 && l1.lines[slot] == line<<1|1 {
-				if f := &l1.fill[slot]; f.readyAt <= c.clock && !f.prefetched {
-					c.ctr.Writes++
-					c.ctr.Instructions++
-					c.ctr.L1Hits++
-					c.clock += c.cfg.L1.HitLatency
-					l1.stamps[slot] = c.clock
-					continue
+		if fast && (addr+op.Size-1)>>lineShift == line && op.Size != 0 {
+			j := ((line * fibMul) >> d.shift) * 2
+			if d.tab[j] == line<<1|1 {
+				if s := d.tab[j+1] & dirSlotMask; s != 0 {
+					slot := int(s) - 1
+					if c.l1.ready[slot] <= c.clock && !c.l1.pref[slot] {
+						c.ctr.Writes++
+						c.ctr.Instructions++
+						c.ctr.L1Hits++
+						c.clock += c.cfg.L1.HitLatency
+						c.l1.stamps[slot] = c.clock
+						continue
+					}
 				}
 			}
 		}
@@ -80,19 +91,47 @@ func (c *Core) WriteSpans(bases *[8]uint64, ops []PlanOp) {
 
 // FirstNonResident returns the index of the first op whose lines are
 // not all L1-resident, or -1 when the whole plan is resident. Residency
-// probes charge nothing, exactly like ResidentL1.
+// probes charge nothing, exactly like ResidentL1. Single-line ops
+// resolve on the first directory probe in the common case (hit in home
+// position, or empty home = non-resident); only collisions walk the
+// probe cluster.
 func (c *Core) FirstNonResident(bases *[8]uint64, ops []FetchOp) int {
-	l1 := c.l1
+	if c.scan {
+		return c.firstNonResidentScan(bases, ops)
+	}
+	d := c.dir
 	for i := range ops {
 		op := &ops[i]
 		addr := bases[op.Base&7] + op.Off
 		if op.Line {
 			line := addr >> lineShift
-			h := (line * fibMul) >> l1.shadowShift
-			if s := int(l1.shadow[h]) - 1; s >= 0 && l1.lines[s] == line<<1|1 {
-				continue
+			j := ((line * fibMul) >> d.shift) * 2
+			if k := d.tab[j]; k == line<<1|1 {
+				if d.tab[j+1]&dirSlotMask != 0 {
+					continue
+				}
+				return i
+			} else if k == 0 {
+				return i
 			}
-			if l1.scanExact(line, h) < 0 {
+			if d.get(line)&dirSlotMask == 0 {
+				return i
+			}
+		} else if !c.ResidentL1(addr, op.Size) {
+			return i
+		}
+	}
+	return -1
+}
+
+// firstNonResidentScan is the verification-twin FirstNonResident,
+// probing L1 by dense tag scan.
+func (c *Core) firstNonResidentScan(bases *[8]uint64, ops []FetchOp) int {
+	for i := range ops {
+		op := &ops[i]
+		addr := bases[op.Base&7] + op.Off
+		if op.Line {
+			if c.l1.find(addr>>lineShift) < 0 {
 				return i
 			}
 		} else if !c.ResidentL1(addr, op.Size) {
@@ -109,9 +148,11 @@ func (c *Core) FirstNonResident(bases *[8]uint64, ops []FetchOp) int {
 // installs nothing before reaching op miss, and the clock alone never
 // evicts — so their probes are skipped and the redundant path charged
 // directly; op miss, when it is a single line, is likewise still absent
-// and skips its guaranteed-miss probe. Ops after miss take the full
-// probing path. The charged sequence is identical to issuing the plan
-// blind.
+// and skips its guaranteed-miss L1 probe (prefetchMiss re-probes the
+// directory once to price the fill). Ops after miss take the full
+// probing path, where one directory probe answers both the redundancy
+// check and the fill source. The charged sequence is identical to
+// issuing the plan blind.
 func (c *Core) IssueFetch(bases *[8]uint64, ops []FetchOp, miss int) {
 	for i := range ops {
 		op := &ops[i]
@@ -125,20 +166,23 @@ func (c *Core) IssueFetch(bases *[8]uint64, ops []FetchOp, miss int) {
 			c.ctr.Instructions++
 			switch {
 			case i < miss:
-				c.ctr.PrefetchRedundant++
-				if c.trc != nil {
-					c.Emit(TracePrefetchRedundant, CauseNone, line<<lineShift, 0, 0)
-				}
+				c.prefetchRedundant(line)
 			case i == miss:
 				c.prefetchMiss(line)
 			default:
-				if c.l1.find(line) >= 0 {
-					c.ctr.PrefetchRedundant++
-					if c.trc != nil {
-						c.Emit(TracePrefetchRedundant, CauseNone, line<<lineShift, 0, 0)
+				if c.scan {
+					if c.l1.find(line) >= 0 {
+						c.prefetchRedundant(line)
+					} else {
+						c.prefetchMissScan(line)
 					}
+					continue
+				}
+				e := c.dir.get(line)
+				if e&dirSlotMask != 0 {
+					c.prefetchRedundant(line)
 				} else {
-					c.prefetchMiss(line)
+					c.prefetchMissAt(line, e)
 				}
 			}
 		} else {

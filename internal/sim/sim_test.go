@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -19,28 +20,53 @@ func mustCore(t *testing.T) *Core {
 	return c
 }
 
+// TestConfigValidate enumerates every invalid-config error path with a
+// substring the error must carry, so a guard cannot silently rot into a
+// different (or no) rejection. An empty want accepts the config.
 func TestConfigValidate(t *testing.T) {
 	tests := []struct {
-		name    string
-		mutate  func(*Config)
-		wantErr bool
+		name   string
+		mutate func(*Config)
+		want   string
 	}{
-		{"default ok", func(*Config) {}, false},
-		{"zero size", func(c *Config) { c.L1.SizeBytes = 0 }, true},
-		{"non pow2 sets", func(c *Config) { c.L1.SizeBytes = 24 << 10 }, true},
-		{"size not multiple", func(c *Config) { c.L1.SizeBytes = 1000 }, true},
-		{"zero dram", func(c *Config) { c.DRAMLatency = 0 }, true},
-		{"zero mshr", func(c *Config) { c.MSHRs = 0 }, true},
-		{"zero width", func(c *Config) { c.IssueWidth = 0 }, true},
-		{"zero freq", func(c *Config) { c.FreqHz = 0 }, true},
+		{"default ok", func(*Config) {}, ""},
+		{"zero size", func(c *Config) { c.L1.SizeBytes = 0 }, "size and ways must be positive"},
+		{"negative size", func(c *Config) { c.L2.SizeBytes = -4096 }, "size and ways must be positive"},
+		{"zero ways", func(c *Config) { c.LLC.Ways = 0 }, "size and ways must be positive"},
+		{"negative ways", func(c *Config) { c.L1.Ways = -2 }, "size and ways must be positive"},
+		{"non pow2 sets", func(c *Config) { c.L1.SizeBytes = 24 << 10 }, "not a power of two"},
+		{"non pow2 sets L2", func(c *Config) { c.L2.SizeBytes = 3 << 20 }, "not a power of two"},
+		{"size not line multiple", func(c *Config) { c.L1.SizeBytes = 1000 }, "not a multiple of ways*line"},
+		{"size not way multiple", func(c *Config) { c.LLC.SizeBytes = 2<<20 + 64 }, "not a multiple of ways*line"},
+		// 256 MiB of 64 B lines is 4M slots — past the residency
+		// directory's 21-bit per-level slot field.
+		{"directory capacity", func(c *Config) { c.LLC.SizeBytes = 256 << 20 }, "residency directory"},
+		{"zero dram", func(c *Config) { c.DRAMLatency = 0 }, "DRAM latency must be positive"},
+		{"zero mshr", func(c *Config) { c.MSHRs = 0 }, "MSHR count must be positive"},
+		{"negative mshr", func(c *Config) { c.MSHRs = -1 }, "MSHR count must be positive"},
+		{"zero width", func(c *Config) { c.IssueWidth = 0 }, "issue width must be positive"},
+		{"zero freq", func(c *Config) { c.FreqHz = 0 }, "frequency must be positive"},
+		{"negative freq", func(c *Config) { c.FreqHz = -1 }, "frequency must be positive"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			cfg := testConfig()
 			tt.mutate(&cfg)
 			err := cfg.Validate()
-			if (err != nil) != tt.wantErr {
-				t.Fatalf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			if tt.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tt.want)
+			}
+			if _, err := NewCore(cfg); err == nil {
+				t.Fatal("NewCore accepted the invalid config")
 			}
 		})
 	}

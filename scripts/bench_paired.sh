@@ -8,6 +8,12 @@
 # window, then reporting the per-side MINIMUM for each benchmark (the
 # least-disturbed execution) and the ratio of minimums.
 #
+# Every round's raw `go test -bench` output is also kept, per side, in
+# benchstat-compatible form ($OUT/base.txt and $OUT/new.txt, one sample
+# per round), so distribution and variance are inspectable alongside the
+# paired-min ratios:
+#   benchstat <out>/base.txt <out>/new.txt
+#
 # Usage:
 #   scripts/bench_paired.sh
 #   BASE=<commit> PKG=./internal/sim/ BENCH='BenchmarkCacheLookup$' ROUNDS=5 scripts/bench_paired.sh
@@ -18,6 +24,8 @@
 #   BENCH     -test.bench regex (default BenchmarkWorkerSteadyState$)
 #   ROUNDS    alternation rounds (default 10)
 #   BENCHTIME go -benchtime per run (default 1s)
+#   OUT       directory for the per-round benchstat files
+#             (default bench_paired.out, overwritten per invocation)
 #
 # Benchmarks that exist on only one side are reported without a ratio.
 set -euo pipefail
@@ -27,6 +35,7 @@ PKG=${PKG:-./internal/rt/}
 BENCH=${BENCH:-BenchmarkWorkerSteadyState$}
 ROUNDS=${ROUNDS:-10}
 BENCHTIME=${BENCHTIME:-1s}
+OUT=${OUT:-bench_paired.out}
 
 root=$(git rev-parse --show-toplevel)
 tmp=$(mktemp -d)
@@ -41,17 +50,25 @@ git -C "$root" worktree add --detach "$tmp/base" "$BASE" >/dev/null 2>&1
 (cd "$tmp/base" && go test -c -o "$tmp/base.test" "$PKG")
 (cd "$root" && go test -c -o "$tmp/new.test" "$PKG")
 
-run() { # side binary
-	"$2" -test.run '^$' -test.bench "$BENCH" -test.benchtime "$BENCHTIME" -test.benchmem 2>/dev/null |
-		awk -v side="$1" '$2 ~ /^[0-9]+$/ && $4 == "ns/op" { sub(/-[0-9]+$/, "", $1); print side, $1, $3 }'
+mkdir -p "$OUT"
+: >"$OUT/base.txt"
+: >"$OUT/new.txt"
+
+run() { # side binary — append one benchstat sample per benchmark
+	"$2" -test.run '^$' -test.bench "$BENCH" -test.benchtime "$BENCHTIME" -test.benchmem 2>/dev/null >>"$OUT/$1.txt"
 }
 
-: >"$tmp/results.txt"
 for i in $(seq "$ROUNDS"); do
 	echo "== round $i/$ROUNDS" >&2
-	run base "$tmp/base.test" >>"$tmp/results.txt"
-	run new "$tmp/new.test" >>"$tmp/results.txt"
+	run base "$tmp/base.test"
+	run new "$tmp/new.test"
 done
+
+parse() { # side — normalize the side's raw file into "side bench ns"
+	awk -v side="$1" '$2 ~ /^[0-9]+$/ && $4 == "ns/op" { sub(/-[0-9]+$/, "", $1); print side, $1, $3 }' "$OUT/$1.txt"
+}
+parse base >"$tmp/results.txt"
+parse new >>"$tmp/results.txt"
 
 awk '
 	{
@@ -72,3 +89,5 @@ awk '
 		}
 	}
 ' "$tmp/results.txt" | sort
+
+echo "== per-round samples: benchstat $OUT/base.txt $OUT/new.txt" >&2
