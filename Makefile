@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench-smoke bench-paired quick trace-demo
+.PHONY: build test verify bench-smoke bench-compile bench-paired profile quick trace-demo
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ verify:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 100x ./internal/sim/ ./internal/rt/
 
+# bench-compile builds and runs every benchmark in the module exactly
+# once — the CI smoke that catches a benchmark a refactor broke without
+# paying measurement time.
+bench-compile:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
 # bench runs the hot-path benchmarks at measurement length; pipe two
 # runs through benchstat to compare (see EXPERIMENTS.md).
 bench:
@@ -37,6 +43,18 @@ BENCH ?= BenchmarkWorkerSteadyState$$
 ROUNDS ?= 10
 bench-paired:
 	BASE=$(BASE) PKG=$(PKG) BENCH='$(BENCH)' ROUNDS=$(ROUNDS) scripts/bench_paired.sh
+
+# profile runs a measured NAT window with host pprof attached — warmup
+# packets are excluded from the CPU profile, so it shows only the
+# steady-state simulator hot path. See EXPERIMENTS.md "Profiling
+# workflow" for reading the output and pairing it with bench-paired.
+profile:
+	$(GO) run ./cmd/gunfu-bench -attr -nf nat -flows 32768 \
+		-warmup 20000 -packets 200000 -tasks 16 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "inspect with:"
+	@echo "  $(GO) tool pprof -top cpu.pprof"
+	@echo "  $(GO) tool pprof -top -sample_index=alloc_space mem.pprof"
 
 # quick regenerates every figure with reduced populations.
 quick:

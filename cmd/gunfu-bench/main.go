@@ -20,6 +20,14 @@
 //	gunfu-bench -trace trace.json -nf nat -flows 32768 -tasks 16
 //	gunfu-bench -attr -nf sfc -sfc-length 4 -flows 8192 -tasks 16
 //
+// -cpuprofile/-memprofile write host pprof profiles (go tool pprof).
+// In profile mode the CPU profile covers only the measured window —
+// warmup is excluded, matching the trace; in figure mode it covers the
+// whole run. The heap profile is written after the run either way.
+//
+//	gunfu-bench -attr -nf nat -warmup 20000 -packets 200000 \
+//	    -cpuprofile cpu.pprof -memprofile mem.pprof
+//
 // Tables are byte-identical for any -parallel value: sweep points are
 // share-nothing simulations, rows are emitted in sweep order, and
 // concurrently-run figures render into buffers flushed in selection
@@ -63,12 +71,20 @@ func run() int {
 	tasks := flag.Int("tasks", 16, "profile mode: max interleaved NFTasks (0 = RTC baseline)")
 	sfcLength := flag.Int("sfc-length", 0, "profile mode: chain length for -nf sfc")
 	pdrs := flag.Int("pdrs", 0, "profile mode: rules per session for -nf upf-downlink")
+
+	// Host profiling (both modes). In profile mode the CPU profile covers
+	// only the measured window — warmup is excluded, like the trace; in
+	// figure mode it covers the whole experiment run.
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path after the run")
 	flag.Parse()
 
 	if *tracePath != "" || *attr {
 		p := profileSpec{
-			tracePath: *tracePath,
-			attr:      *attr,
+			tracePath:  *tracePath,
+			attr:       *attr,
+			cpuProfile: *cpuProfile,
+			memProfile: *memProfile,
 			spec: director.DeploySpec{
 				NF: *nfName, Flows: *flows, Packets: *packets, Warmup: *warmup,
 				PacketBytes: *packetBytes, Tasks: *tasks, Seed: *seed,
@@ -104,6 +120,25 @@ func run() int {
 		return 2
 	}
 
+	// Figure mode profiles wrap the whole run (there is no warmup to
+	// exclude — every sweep point is the workload).
+	stopCPU, err := startCPUProfile(*cpuProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gunfu-bench: %v\n", err)
+		return 1
+	}
+	finishProfiles := func() int {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-bench: %v\n", err)
+			return 1
+		}
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *parallel <= 1 {
 		opts := gunfu.ExpOptions{Quick: *quick, Seed: *seed, Out: os.Stdout}
 		for _, name := range names {
@@ -116,7 +151,7 @@ func run() int {
 			fmt.Println()
 			fmt.Fprintf(os.Stderr, "gunfu-bench: %s completed in %.1fs\n", name, time.Since(start).Seconds())
 		}
-		return 0
+		return finishProfiles()
 	}
 
 	// Parallel mode: figures run concurrently (each additionally fanning
@@ -159,5 +194,5 @@ func run() int {
 		os.Stdout.Write(bufs[i].Bytes())
 	}
 	wg.Wait()
-	return 0
+	return finishProfiles()
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startCPUProfile begins a pprof CPU profile to path ("" = disabled)
+// and returns the function that stops it and closes the file. Callers
+// place the start/stop pair around the window they want measured: in
+// profile mode that is the observed packet window only — warmup stays
+// out of the profile, exactly as it stays out of the trace.
+func startCPUProfile(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "gunfu-bench: wrote cpu profile to %s\n", path)
+		return nil
+	}, nil
+}
+
+// writeHeapProfile dumps an allocation profile to path ("" = disabled),
+// forcing a GC first so the live-heap numbers reflect retained state
+// rather than collectable garbage.
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "gunfu-bench: wrote heap profile to %s\n", path)
+	return nil
+}

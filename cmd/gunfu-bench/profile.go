@@ -17,9 +17,11 @@ import (
 // reuses the deployable registry so the profiled NFs are exactly the
 // control plane's.
 type profileSpec struct {
-	tracePath string // Chrome trace JSON output ("" = off)
-	attr      bool   // print attribution tables
-	spec      director.DeploySpec
+	tracePath  string // Chrome trace JSON output ("" = off)
+	attr       bool   // print attribution tables
+	cpuProfile string // pprof CPU profile of the measured window ("" = off)
+	memProfile string // pprof heap profile after the window ("" = off)
+	spec       director.DeploySpec
 }
 
 // profile executes one observed run: warmup untraced, then the
@@ -67,21 +69,40 @@ func profile(p profileSpec, out io.Writer) error {
 	}
 
 	// Attach observation only for the measured window, so warmup noise
-	// (cold caches, first-touch misses) stays out of the profile.
-	var col *obs.Collector
-	var tw *obs.TraceWriter
-	if p.attr {
-		col = obs.NewCollector(prog, cfg.FreqHz)
-	}
-	if p.tracePath != "" {
-		tw = obs.NewTraceWriter(prog, cfg.FreqHz)
-	}
-	core.SetTracer(obs.Multi(col, tw))
-	res, err := run(p.spec.Packets)
+	// (cold caches, first-touch misses) stays out of the profile. The
+	// host pprof window matches: started here, stopped right after the
+	// measured packets, before any report rendering.
+	stopCPU, err := startCPUProfile(p.cpuProfile)
 	if err != nil {
 		return err
 	}
+	var col *obs.Collector
+	var tw *obs.TraceWriter
+	var tracers []sim.Tracer
+	if p.attr {
+		col = obs.NewCollector(prog, cfg.FreqHz)
+		tracers = append(tracers, col)
+	}
+	if p.tracePath != "" {
+		tw = obs.NewTraceWriter(prog, cfg.FreqHz)
+		tracers = append(tracers, tw)
+	}
+	// Append only live tracers: a typed-nil *Collector or *TraceWriter
+	// boxed into sim.Tracer is a non-nil interface, which Multi would
+	// keep and then segfault on.
+	core.SetTracer(obs.Multi(tracers...))
+	res, err := run(p.spec.Packets)
+	if err != nil {
+		stopCPU()
+		return err
+	}
 	core.SetTracer(nil)
+	if err := stopCPU(); err != nil {
+		return err
+	}
+	if err := writeHeapProfile(p.memProfile); err != nil {
+		return err
+	}
 
 	fmt.Fprintf(out, "profiled %s: %d packets, %.2f Gbps, %s\n\n",
 		p.spec.NF, res.Packets, res.Gbps(), res.Counters.String())

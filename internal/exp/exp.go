@@ -47,6 +47,32 @@ type Options struct {
 	// points' event streams into one consumer, so combine it with
 	// Parallel <= 1 unless the tracer is concurrency-safe.
 	Tracer sim.Tracer
+
+	// pool recycles cores across sweep points (set by Run). A Reset
+	// pooled core is observationally identical to a fresh one — the
+	// sim package's reset-vs-fresh differential tests pin that — so
+	// tables stay byte-identical while a figure run stops allocating a
+	// megabyte-scale hierarchy per point. Runners invoked directly
+	// (tests, external callers) see a nil pool and fall back to
+	// per-point construction.
+	pool *sim.CorePool
+}
+
+// acquireCore returns a core for one sweep point: pooled when the run
+// has a pool, freshly built otherwise.
+func (o Options) acquireCore() (*sim.Core, error) {
+	if o.pool != nil {
+		return o.pool.Get()
+	}
+	return sim.NewCore(o.simCfg())
+}
+
+// releaseCore returns a pooled core for reuse; without a pool the core
+// is simply dropped, as the per-point runners always did.
+func (o Options) releaseCore(c *sim.Core) {
+	if o.pool != nil {
+		o.pool.Put(c)
+	}
 }
 
 func (o Options) simCfg() sim.Config {
@@ -158,6 +184,7 @@ func Run(name string, o Options) ([]*stats.Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
 	}
+	o.pool = sim.NewCorePool(o.simCfg())
 	tables, err := r(o)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", name, err)
@@ -170,12 +197,14 @@ func Run(name string, o Options) ([]*stats.Table, error) {
 	return tables, nil
 }
 
-// runRTC runs prog over src on a fresh core under run-to-completion.
+// runRTC runs prog over src on a reset core (pooled when the run has a
+// pool) under run-to-completion.
 func runRTC(o Options, as *mem.AddressSpace, prog *model.Program, src rt.Source, warmup, packets uint64) (rt.Result, error) {
-	core, err := sim.NewCore(o.simCfg())
+	core, err := o.acquireCore()
 	if err != nil {
 		return rt.Result{}, err
 	}
+	defer o.releaseCore(core)
 	if o.Tracer != nil {
 		core.SetTracer(o.Tracer)
 	}
@@ -191,13 +220,14 @@ func runRTC(o Options, as *mem.AddressSpace, prog *model.Program, src rt.Source,
 	return w.Run(src, packets)
 }
 
-// runIL runs prog over src on a fresh core under the interleaved model
-// with the given task count.
+// runIL runs prog over src on a reset core (pooled when the run has a
+// pool) under the interleaved model with the given task count.
 func runIL(o Options, as *mem.AddressSpace, prog *model.Program, src rt.Source, tasks int, warmup, packets uint64) (rt.Result, error) {
-	core, err := sim.NewCore(o.simCfg())
+	core, err := o.acquireCore()
 	if err != nil {
 		return rt.Result{}, err
 	}
+	defer o.releaseCore(core)
 	if o.Tracer != nil {
 		core.SetTracer(o.Tracer)
 	}

@@ -19,11 +19,11 @@ func benchCore(b *testing.B) *Core {
 }
 
 // BenchmarkCacheLookup measures the raw lookup kernel on warm lines:
-// the single most executed operation in the simulator, now one
-// residency-directory probe.
+// the single most executed operation in the simulator, now one verified
+// probe of the exact L1 index.
 func BenchmarkCacheLookup(b *testing.B) {
 	cfg := DefaultConfig().L1
-	c := newCache(cfg, dirL1Shift, newResidencyDir(cfg.slots()))
+	c := newExactCache(cfg)
 	// Fill a handful of sets so lookups traverse realistic occupancy.
 	lines := make([]uint64, 64)
 	for i := range lines {
@@ -135,6 +135,36 @@ func BenchmarkPrefetchLine(b *testing.B) {
 		c.Prefetch(addr, 8)
 		if i%mshrs == mshrs-1 {
 			c.Stall(c.cfg.DRAMLatency) // retire outstanding fills
+		}
+	}
+}
+
+// BenchmarkCoreReset measures one pooled-core cycle: a 4096-line warm
+// pass (8x the L1, so every level and the directory hold live state)
+// followed by the generation-stamped Reset. Contrast with
+// BenchmarkNewCore, the per-point construction cost pooling avoids.
+func BenchmarkCoreReset(b *testing.B) {
+	c := benchCore(b)
+	const lines = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := uint64(0); l < lines; l++ {
+			c.Read(l*LineBytes, 8)
+		}
+		c.Reset()
+	}
+}
+
+// BenchmarkNewCore measures building a default core from scratch — the
+// allocation and zeroing a pooled, Reset core does not pay.
+func BenchmarkNewCore(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCore(cfg); err != nil {
+			b.Fatalf("NewCore: %v", err)
 		}
 	}
 }

@@ -5,27 +5,30 @@ import (
 	"testing"
 )
 
-// newTestHierarchy builds the three levels of cfg sharing one residency
-// directory, exactly as NewCore wires them.
+// newTestHierarchy builds the three levels of cfg — the exact-index L1
+// plus the two outer levels sharing one residency directory — exactly
+// as NewCore wires them.
 func newTestHierarchy(cfg Config) (*residencyDir, []*cache) {
-	dir := newResidencyDir(cfg.L1.slots() + cfg.L2.slots() + cfg.LLC.slots())
-	return dir, []*cache{
-		newCache(cfg.L1, dirL1Shift, dir),
-		newCache(cfg.L2, dirL2Shift, dir),
-		newCache(cfg.LLC, dirLLCShift, dir),
-	}
+	dir := newResidencyDir(cfg.L2.slots() + cfg.LLC.slots())
+	l1 := newExactCache(cfg.L1)
+	l2 := newOuterCache(cfg.L2, dirL2Shift, dir)
+	llc := newOuterCache(cfg.LLC, dirLLCShift, dir)
+	dir.attach(l2, llc)
+	return dir, []*cache{l1, l2, llc}
 }
 
-// TestDirectoryMatchesScan is the directory-twin fuzz: it churns a full
-// three-level hierarchy through 300k randomized install/evict/touch/
-// invalidate operations and asserts after every one that the unified
-// residency directory and the scanned dense tag arrays agree on the
-// (level, slot) of the operated line — and, on periodic full sweeps,
-// that the two structures agree *bidirectionally* on every resident
-// line in the machine. Any divergence is a directory-maintenance bug:
-// an eviction that failed to clear its field, an install that missed
-// its insert, a backward-shift delete that stranded a cluster entry, or
-// an invalidateAll that left a stale level field behind.
+// TestDirectoryMatchesScan is the tiered-lookup twin fuzz: it churns a
+// full three-level hierarchy through 300k randomized install/evict/
+// touch/invalidate/reset operations and asserts after every one that
+// the production lookup structures — the exact L1 index for the inner
+// level, the outer-level residency directory for the rest — and the
+// scanned dense tag arrays agree on the (level, slot) of the operated
+// line; on periodic full sweeps the structures must agree
+// *bidirectionally* on every resident line in the machine. Any
+// divergence is a maintenance bug: an eviction that failed to clear its
+// field, an install that missed its insert, a backward-shift delete
+// that stranded a cluster entry, a generation bump that resurrected a
+// stale line word, or an invalidation that left a field behind.
 func TestDirectoryMatchesScan(t *testing.T) {
 	cfg := DefaultConfig()
 	dir, levels := newTestHierarchy(cfg)
@@ -39,21 +42,42 @@ func TestDirectoryMatchesScan(t *testing.T) {
 		now++
 		line := rng.Uint64() % space
 
-		// Per-op agreement on the operated line, all three levels from
-		// the one probe the hot path would issue.
+		// Per-op agreement on the operated line: the exact index for
+		// L1, the one directory probe the miss path would issue for the
+		// outer levels.
+		if ds, ss := levels[0].findExact(line), levels[0].find(line); ds != ss {
+			t.Fatalf("op %d line %d L1: exact index slot %d, scanned slot %d", i, line, ds, ss)
+		}
 		e := dir.get(line)
-		for li, lvl := range levels {
+		for li, lvl := range levels[1:] {
 			ds := int((e>>lvl.levelShift)&dirSlotMask) - 1
 			if ss := lvl.find(line); ds != ss {
-				t.Fatalf("op %d line %d level %d: directory slot %d, scanned slot %d", i, line, li, ds, ss)
+				t.Fatalf("op %d line %d outer level %d: directory slot %d, scanned slot %d", i, line, li+1, ds, ss)
 			}
 		}
 
 		switch r := rng.Intn(1000); {
 		case r == 0:
-			// Rare whole-level invalidation (Core.Reset path) — the one
-			// O(table) maintenance operation.
+			// Rare whole-level invalidation — the O(level) maintenance
+			// operation (clearLevel on outer levels, a generation bump
+			// on the L1).
 			levels[rng.Intn(3)].invalidateAll()
+		case r == 1:
+			// Rare whole-core reset, exactly as Core.Reset performs it:
+			// L1 generation bump plus the directory's live-entry sweep,
+			// which must leave every level empty.
+			levels[0].resetExact()
+			dir.sweepReset()
+			for li, lvl := range levels {
+				for s, tag := range lvl.tags {
+					if tag != 0 {
+						t.Fatalf("op %d: level %d slot %d tag %#x survived reset", i, li, s, tag)
+					}
+				}
+			}
+			if dir.live != 0 {
+				t.Fatalf("op %d: %d live entries survived sweepReset", i, dir.live)
+			}
 		case r < 700:
 			// Demand-like: touch on hit, install over the LRU victim on
 			// a miss, at a random level.
@@ -81,21 +105,34 @@ func TestDirectoryMatchesScan(t *testing.T) {
 		}
 
 		if i%4096 == 0 {
-			verifyDirectoryTwin(t, i, dir, levels)
+			verifyDirectoryTwin(t, i, dir, levels[0], levels[1:])
 		}
 	}
-	verifyDirectoryTwin(t, 300000, dir, levels)
+	verifyDirectoryTwin(t, 300000, dir, levels[0], levels[1:])
 }
 
-// verifyDirectoryTwin cross-checks the directory against the dense tag
-// arrays in both directions: every valid slot's line must resolve back
-// to that slot through the directory, every directory field must point
-// at a slot holding its line, and the live entry count must equal the
-// number of distinct resident lines.
-func verifyDirectoryTwin(t *testing.T, op int, dir *residencyDir, levels []*cache) {
+// verifyDirectoryTwin cross-checks the tiered lookup structures against
+// the dense tag arrays in both directions: every valid L1 slot's line
+// must resolve back to that slot through the exact index, every valid
+// outer slot's line must resolve through the directory, every directory
+// entry's remnant and fields must point at slots holding its line, and
+// the live entry count must equal the number of distinct outer-resident
+// lines. l1 may be nil when only outer levels are under test.
+func verifyDirectoryTwin(t *testing.T, op int, dir *residencyDir, l1 *cache, outer []*cache) {
 	t.Helper()
+	if l1 != nil {
+		for slot, tag := range l1.tags {
+			if tag == 0 {
+				continue
+			}
+			line := l1.lineOf(slot)
+			if got := l1.findExact(line); got != slot {
+				t.Fatalf("op %d: L1 slot %d holds line %d but exact index says slot %d", op, slot, line, got)
+			}
+		}
+	}
 	distinct := map[uint64]struct{}{}
-	for li, lvl := range levels {
+	for li, lvl := range outer {
 		for slot, tag := range lvl.tags {
 			if tag == 0 {
 				continue
@@ -103,120 +140,143 @@ func verifyDirectoryTwin(t *testing.T, op int, dir *residencyDir, levels []*cach
 			line := lvl.lineOf(slot)
 			distinct[line] = struct{}{}
 			if got := int((dir.get(line)>>lvl.levelShift)&dirSlotMask) - 1; got != slot {
-				t.Fatalf("op %d: level %d slot %d holds line %d but directory says slot %d", op, li, slot, line, got)
+				t.Fatalf("op %d: outer level %d slot %d holds line %d but directory says slot %d", op, li, slot, line, got)
 			}
 		}
 	}
-	if n := dir.entries(); n != len(distinct) {
-		t.Fatalf("op %d: %d directory entries for %d distinct resident lines", op, n, len(distinct))
+	if n := dir.entries(); n != len(distinct) || n != dir.live {
+		t.Fatalf("op %d: %d directory entries (live count %d) for %d distinct outer-resident lines", op, n, dir.live, len(distinct))
 	}
-	for i := uint64(0); i <= dir.mask; i++ {
-		k := dir.tab[i*2]
-		if k == 0 {
+	for i, e := range dir.tab {
+		if e == 0 {
 			continue
 		}
-		line, v := k>>1, dir.tab[i*2+1]
-		if v == 0 {
-			t.Fatalf("op %d: directory entry for line %d has empty value", op, line)
+		if e&dirFieldsMask == 0 {
+			t.Fatalf("op %d: directory entry at %d has no slot fields", op, i)
 		}
-		for li, lvl := range levels {
-			s := int((v>>lvl.levelShift)&dirSlotMask) - 1
+		line := dir.lineAt(uint64(i))
+		if e>>dirRemShift != line&dirRemMask {
+			t.Fatalf("op %d: directory entry at %d: remnant %#x does not match reconstructed line %d", op, i, e>>dirRemShift, line)
+		}
+		for li, lvl := range outer {
+			s := int((e>>lvl.levelShift)&dirSlotMask) - 1
 			if s < 0 {
 				continue
 			}
 			if s >= len(lvl.tags) || lvl.tags[s] != lvl.tagOf(line) || uint64(s/lvl.ways) != line&lvl.setMask {
-				t.Fatalf("op %d: directory maps line %d to level %d slot %d, which holds tag %#x", op, line, li, s, lvl.tags[s])
+				t.Fatalf("op %d: directory maps line %d to outer level %d slot %d, which holds tag %#x", op, line, li, s, lvl.tags[s])
 			}
 		}
 	}
 }
 
-// TestDirMatchesMapModel fuzzes the raw directory (set/clear/get/
-// clearLevel/reset) against a map reference model at a high load
-// factor, so probe clusters routinely wrap and backward-shift deletion
-// sees every cluster shape.
-func TestDirMatchesMapModel(t *testing.T) {
-	d := newResidencyDir(24) // 64-entry table; keys below push load near 0.5
-	model := map[uint64]uint64{}
-	shifts := []uint{dirL1Shift, dirL2Shift, dirLLCShift}
-	rng := rand.New(rand.NewSource(11))
-	const space = 60
+// TestDirClusterChurn fuzzes the packed directory at its sizing-limit
+// load factor with deliberately aliased key remnants: tiny outer caches
+// whose aggregate capacity drives the 64-entry table to one-half load,
+// over an address space built from a few base lines replicated at
+// multiples of 2^22 — so distinct lines share a remnant (and a set,
+// differing only in tag) and a remnant match alone would constantly
+// lie. Probe clusters routinely wrap the table end, backward-shift
+// deletion sees every cluster shape, and the high-word-verified key
+// comparison (hi) is what keeps the answers exact.
+func TestDirClusterChurn(t *testing.T) {
+	mk := func(name string, sets, ways int) CacheConfig {
+		return CacheConfig{Name: name, SizeBytes: sets * ways * LineBytes, Ways: ways, HitLatency: 1}
+	}
+	l2cfg, llccfg := mk("l2", 4, 4), mk("llc", 4, 4)
+	dir := newResidencyDir(l2cfg.slots() + llccfg.slots()) // 64 entries
+	l2 := newOuterCache(l2cfg, dirL2Shift, dir)
+	llc := newOuterCache(llccfg, dirLLCShift, dir)
+	dir.attach(l2, llc)
+	levels := []*cache{l2, llc}
 
+	rng := rand.New(rand.NewSource(11))
+	// 24 remnants × 4 high-bit variants: ~3x aggregate capacity, every
+	// remnant aliased four ways.
+	line := func() uint64 {
+		return uint64(rng.Intn(24)) + uint64(rng.Intn(4))<<22
+	}
+	var now uint64
 	for i := 0; i < 200000; i++ {
-		line := rng.Uint64() % space
-		shift := shifts[rng.Intn(3)]
-		switch r := rng.Intn(100); {
-		case r < 45:
-			if len(model) < 30 || model[line] != 0 { // respect sizing: insert only below capacity
-				slot := rng.Intn(dirSlotMask)
-				d.set(line, shift, slot)
-				model[line] = model[line]&^(dirSlotMask<<shift) | uint64(slot+1)<<shift
-			}
-		case r < 90:
-			d.clear(line, shift)
-			if v, ok := model[line]; ok {
-				if v = v &^ (dirSlotMask << shift); v == 0 {
-					delete(model, line)
-				} else {
-					model[line] = v
-				}
-			}
-		case r < 99:
-			d.clearLevel(shift)
-			for k, v := range model {
-				if v = v &^ (dirSlotMask << shift); v == 0 {
-					delete(model, k)
-				} else {
-					model[k] = v
+		now++
+		l := line()
+		switch r := rng.Intn(1000); {
+		case r == 0:
+			levels[rng.Intn(2)].invalidateAll()
+		case r == 1:
+			dir.sweepReset()
+			for li, lvl := range levels {
+				for s, tag := range lvl.tags {
+					if tag != 0 {
+						t.Fatalf("op %d: level %d slot %d tag %#x survived sweepReset", i, li, s, tag)
+					}
 				}
 			}
 		default:
-			d.reset()
-			model = map[uint64]uint64{}
-		}
-		if got := d.get(line); got != model[line] {
-			t.Fatalf("op %d line %d: directory %#x, model %#x", i, line, got, model[line])
-		}
-		if i%512 == 0 {
-			if n := d.entries(); n != len(model) {
-				t.Fatalf("op %d: %d entries, model has %d", i, n, len(model))
+			lvl := levels[rng.Intn(2)]
+			if s := lvl.find(l); s >= 0 {
+				lvl.touch(s, now)
+			} else {
+				lvl.installAt(lvl.victimOf(l), l, now, now)
 			}
-			for k, v := range model {
-				if got := d.get(k); got != v {
-					t.Fatalf("op %d line %d: directory %#x, model %#x", i, k, got, v)
+		}
+		// Per-op: one directory probe answers both levels, against the
+		// dense scans — including for this line's three remnant aliases.
+		for v := uint64(0); v < 4; v++ {
+			q := l&dirRemMask | v<<22
+			e := dir.get(q)
+			for li, lvl := range levels {
+				ds := int((e>>lvl.levelShift)&dirSlotMask) - 1
+				if ss := lvl.find(q); ds != ss {
+					t.Fatalf("op %d line %d (alias %d): outer level %d directory slot %d, scanned slot %d", i, q, v, li, ds, ss)
 				}
 			}
 		}
+		if i%512 == 0 {
+			verifyDirectoryTwin(t, i, dir, nil, levels)
+		}
 	}
+	verifyDirectoryTwin(t, 200000, dir, nil, levels)
 }
 
 // TestProbeMatchesFindPlusVictim checks that the fused scan probe used
 // by the verification-twin miss path answers exactly what separate
-// find + victimOf calls would.
+// find + victimOf calls would, and that each level's production lookup
+// (the exact index on L1, the directory probe on outer levels) agrees.
 func TestProbeMatchesFindPlusVictim(t *testing.T) {
 	cfg := DefaultConfig().L1
-	c := newCache(cfg, dirL1Shift, newResidencyDir(cfg.slots()))
-	rng := rand.New(rand.NewSource(13))
-	space := uint64(c.sets*c.ways) * 2
-	for i := 0; i < 100000; i++ {
-		line := rng.Uint64() % space
-		slot, victim := c.probe(line)
-		if f := c.find(line); f != slot {
-			t.Fatalf("op %d: probe slot %d, find %d", i, slot, f)
-		}
-		if lk := c.lookup(line); lk != slot {
-			t.Fatalf("op %d: directory lookup %d, probe %d", i, lk, slot)
-		}
-		if slot >= 0 {
-			if victim != -1 {
-				t.Fatalf("op %d: hit returned victim %d", i, victim)
+	run := func(t *testing.T, c *cache) {
+		rng := rand.New(rand.NewSource(13))
+		space := uint64(c.sets*c.ways) * 2
+		for i := 0; i < 100000; i++ {
+			line := rng.Uint64() % space
+			slot, victim := c.probe(line)
+			if f := c.find(line); f != slot {
+				t.Fatalf("op %d: probe slot %d, find %d", i, slot, f)
 			}
-			c.touch(slot, uint64(i))
-			continue
+			if lk := c.lookup(line); lk != slot {
+				t.Fatalf("op %d: production lookup %d, probe %d", i, lk, slot)
+			}
+			if slot >= 0 {
+				if victim != -1 {
+					t.Fatalf("op %d: hit returned victim %d", i, victim)
+				}
+				c.touch(slot, uint64(i))
+				continue
+			}
+			if v := c.victimOf(line); v != victim {
+				t.Fatalf("op %d: probe victim %d, victimOf %d", i, victim, v)
+			}
+			c.installAt(victim, line, uint64(i), uint64(i))
 		}
-		if v := c.victimOf(line); v != victim {
-			t.Fatalf("op %d: probe victim %d, victimOf %d", i, victim, v)
-		}
-		c.installAt(victim, line, uint64(i), uint64(i))
 	}
+	t.Run("exact", func(t *testing.T) { run(t, newExactCache(cfg)) })
+	t.Run("outer", func(t *testing.T) {
+		dir := newResidencyDir(cfg.slots())
+		c := newOuterCache(cfg, dirL2Shift, dir)
+		// Single-level directory: every entry carries only the L2
+		// field, so the LLC pointer is never consulted.
+		dir.attach(c, c)
+		run(t, c)
+	})
 }

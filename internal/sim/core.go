@@ -3,8 +3,9 @@ package sim
 import "fmt"
 
 // Core is one simulated CPU core: a cycle clock, a private three-level
-// cache hierarchy indexed by a unified residency directory, a bounded
-// asynchronous prefetcher, and a PMU.
+// cache hierarchy with tiered residency lookup (an exact L1 index in
+// front of an outer-level residency directory), a bounded asynchronous
+// prefetcher, and a PMU.
 //
 // A Core is not safe for concurrent use; the runtime gives each worker
 // its own Core, matching the paper's share-nothing per-core design.
@@ -17,13 +18,15 @@ type Core struct {
 	llc   *cache
 	ctr   Counters
 
-	// dir is the unified residency directory (see dir.go): one probe
-	// answers which level — if any — holds a line, so the demand-miss
-	// and prefetch paths never scan a tag array.
+	// dir is the outer-level residency directory (see dir.go): probed
+	// only after an L1 miss, one probe answers which outer level — if
+	// any — holds a line, so the demand-miss and prefetch paths never
+	// scan a tag array. The L1 itself resolves through its own exact
+	// index (see cache.go), a few KiB that stay host-cache-resident.
 	dir *residencyDir
 	// scan, when true, routes every lookup through the historical
-	// dense tag scans instead of the directory (SetScanLookups). The
-	// two strategies read the same maintained state and must produce
+	// dense tag scans instead of the tiered structures (SetScanLookups).
+	// The two strategies read the same maintained state and must produce
 	// bit-identical simulated results; the differential tests hold
 	// them to that.
 	scan bool
@@ -40,6 +43,11 @@ type Core struct {
 	mshrFreeTail int
 	mshrInFlight int
 	minReady     uint64
+
+	// warmSink absorbs warmDir's directory pre-touch loads so the
+	// compiler cannot elide them; the value is meaningless. Per-core so
+	// parallel sweep workers never share the written cache line.
+	warmSink uint64
 
 	// trc, when non-nil, receives cycle-timestamped trace events;
 	// curTask and curCS are the attribution stamps (see trace.go).
@@ -71,13 +79,13 @@ func NewCore(cfg Config) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: invalid config: %w", err)
 	}
-	dir := newResidencyDir(cfg.L1.slots() + cfg.L2.slots() + cfg.LLC.slots())
+	dir := newResidencyDir(cfg.L2.slots() + cfg.LLC.slots())
 	c := &Core{
 		cfg:         cfg,
 		dir:         dir,
-		l1:          newCache(cfg.L1, dirL1Shift, dir),
-		l2:          newCache(cfg.L2, dirL2Shift, dir),
-		llc:         newCache(cfg.LLC, dirLLCShift, dir),
+		l1:          newExactCache(cfg.L1),
+		l2:          newOuterCache(cfg.L2, dirL2Shift, dir),
+		llc:         newOuterCache(cfg.LLC, dirLLCShift, dir),
 		mshrReady:   make([]uint64, cfg.MSHRs),
 		mshrFree:    make([]int32, cfg.MSHRs),
 		switchInsts: cfg.SwitchCost * cfg.IssueWidth / 2,
@@ -85,6 +93,7 @@ func NewCore(cfg Config) (*Core, error) {
 		curTask:     -1,
 		curCS:       -1,
 	}
+	dir.attach(c.l2, c.llc)
 	for i := range c.mshrFree {
 		c.mshrFree[i] = int32(i)
 	}
@@ -115,21 +124,27 @@ func (c *Core) Counters() Counters {
 }
 
 // SetScanLookups selects the lookup strategy: false (the default) uses
-// the unified residency directory, true the historical dense tag scans.
-// Both structures are maintained at every install regardless of mode,
-// so the switch is valid at any point and changes host cost only —
-// never a simulated result. The scan twin exists for differential
-// verification; leave it off outside tests.
+// the tiered structures (exact L1 index, then the outer-level residency
+// directory), true the historical dense tag scans. Both are maintained
+// at every install regardless of mode, so the switch is valid at any
+// point and changes host cost only — never a simulated result. The scan
+// twin exists for differential verification; leave it off outside tests.
 func (c *Core) SetScanLookups(on bool) { c.scan = on }
 
-// Reset clears the clock, counters, caches, directory and prefetch
-// state, so one core can run back-to-back experiments from a cold start.
+// Reset returns the core to its just-constructed state — clock,
+// counters, caches, directory and prefetch state — so one pooled core
+// can run back-to-back experiments from a cold start. The cost is tied
+// to what the previous run actually touched, not to configured
+// capacity: the L1 bumps its generation word and memsets only its
+// compact tags (resetExact), and the directory sweep zeroes the outer
+// levels' tags through its live entries (sweepReset) rather than
+// walking megabytes of stamp and ready arrays. The reset-vs-fresh
+// differential test pins the equivalence bit-for-bit.
 func (c *Core) Reset() {
 	c.clock = 0
 	c.ctr = Counters{}
-	c.l1.invalidateAll()
-	c.l2.invalidateAll()
-	c.llc.invalidateAll()
+	c.l1.resetExact()
+	c.dir.sweepReset()
 	for i := range c.mshrReady {
 		c.mshrReady[i] = 0
 		c.mshrFree[i] = int32(i)
@@ -184,31 +199,29 @@ func (c *Core) emitSwitch() {
 }
 
 // Read charges a demand read of size bytes at addr. The body is the
-// exact L1 fast path: a single-line span whose first directory probe
-// lands on its entry with a completed, non-prefetched L1 slot charges
-// its counters inline — the identical updates the general path's
-// access() would make — and everything else falls through to the full
-// burst machinery.
+// exact L1 fast path: a single-line span whose home slot in the exact
+// map matches, with a completed, non-prefetched fill, charges its
+// counters inline — the identical updates the general path's access()
+// would make — and everything else falls through to the full burst
+// machinery.
 func (c *Core) Read(addr, size uint64) {
 	line := addr >> lineShift
 	if (addr+size-1)>>lineShift == line && size != 0 && c.alog == nil && !c.scan {
-		d := c.dir
-		i := ((line * fibMul) >> d.shift) * 2
-		if d.tab[i] == line<<1|1 {
-			if s := d.tab[i+1] & dirSlotMask; s != 0 {
-				slot := int(s) - 1
-				if c.l1.ready[slot] <= c.clock && !c.l1.pref[slot] {
-					c.ctr.Reads++
-					c.ctr.Instructions++
-					c.ctr.L1Hits++
-					c.clock += c.cfg.L1.HitLatency
-					c.l1.stamps[slot] = c.clock
-					return
-				}
+		l1 := c.l1
+		f := ((line * fibMul) >> l1.mapShift) * 2
+		if l1.kv[f] == l1.genw+(line<<1|1) {
+			s := int(l1.kv[f+1])
+			if l1.ready[s] <= c.clock && !l1.pref[s] {
+				c.ctr.Reads++
+				c.ctr.Instructions++
+				c.ctr.L1Hits++
+				c.clock += c.cfg.L1.HitLatency
+				l1.stamps[s] = c.clock
+				return
 			}
 		}
-		// First-probe mismatch: the entry may sit behind a collision —
-		// burst's full directory probe settles it identically.
+		// Home mismatch: the line may still be resident behind probe
+		// displacement — burst's full probe settles it identically.
 	}
 	c.burst(addr, size, false)
 }
@@ -218,19 +231,17 @@ func (c *Core) Read(addr, size uint64) {
 func (c *Core) Write(addr, size uint64) {
 	line := addr >> lineShift
 	if (addr+size-1)>>lineShift == line && size != 0 && c.alog == nil && !c.scan {
-		d := c.dir
-		i := ((line * fibMul) >> d.shift) * 2
-		if d.tab[i] == line<<1|1 {
-			if s := d.tab[i+1] & dirSlotMask; s != 0 {
-				slot := int(s) - 1
-				if c.l1.ready[slot] <= c.clock && !c.l1.pref[slot] {
-					c.ctr.Writes++
-					c.ctr.Instructions++
-					c.ctr.L1Hits++
-					c.clock += c.cfg.L1.HitLatency
-					c.l1.stamps[slot] = c.clock
-					return
-				}
+		l1 := c.l1
+		f := ((line * fibMul) >> l1.mapShift) * 2
+		if l1.kv[f] == l1.genw+(line<<1|1) {
+			s := int(l1.kv[f+1])
+			if l1.ready[s] <= c.clock && !l1.pref[s] {
+				c.ctr.Writes++
+				c.ctr.Instructions++
+				c.ctr.L1Hits++
+				c.clock += c.cfg.L1.HitLatency
+				l1.stamps[s] = c.clock
+				return
 			}
 		}
 	}
@@ -278,38 +289,42 @@ func (c *Core) burst(addr, size uint64, write bool) {
 // line in the same burst already paid a full miss. It reports whether
 // this access missed L1 entirely (i.e. was not an L1 or in-flight hit).
 //
-// One directory probe resolves the whole hierarchy: the L1 field is the
-// hit path, an outer field is the outer hit, and an absent entry is the
-// DRAM case — no level is scanned. Victims are picked per installed
-// level at install time, which is the same choice the historical
-// probe-time pick made: nothing touches those sets in between (only
-// outer levels and the clock move, and the clock never writes a stamp).
+// Tiered lookup: the exact L1 index answers the hit path against a few
+// host-resident KiB; only a genuine L1 miss probes the outer-level
+// directory, where one probe resolves the rest of the hierarchy — an
+// absent entry is the DRAM case — and no level is scanned. Victims are
+// picked per installed level at install time, which is the same choice
+// the historical probe-time pick made: nothing touches those sets in
+// between (only other levels and the clock move, and the clock never
+// writes a stamp).
 func (c *Core) access(line uint64, overlapped bool) bool {
 	if c.scan {
 		return c.accessScan(line, overlapped)
 	}
-	e := c.dir.get(line)
-	if s := e & dirSlotMask; s != 0 {
+	l1 := c.l1
+	slot := l1.findExact(line)
+	if slot >= 0 {
 		// L1 demand hit — the simulator's hottest operation, kept flat
 		// here. Only prefetched or in-flight lines take the outlined
 		// slow path.
-		slot := int(s) - 1
 		c.ctr.L1Hits++
-		if c.l1.ready[slot] > c.clock || c.l1.pref[slot] {
+		if l1.ready[slot] > c.clock || l1.pref[slot] {
 			c.demandHitPrefetched(slot)
 		}
 		c.clock += c.cfg.L1.HitLatency
-		c.l1.stamps[slot] = c.clock
+		l1.stamps[slot] = c.clock
 		return false
 	}
 	c.ctr.L1Misses++
-	// Installed levels accumulate their directory fields in val; one
-	// setFields probe at the end records the whole fill (the cluster is
-	// already host-warm from the get above). Victim fields are cleared
-	// eagerly inside fillSlot.
+	e := c.dir.get(line)
+	// Outer levels installed into accumulate their directory fields in
+	// val; one setFields probe at the end records the whole fill (the
+	// cluster is already host-warm from the get above). Victim fields
+	// are cleared eagerly inside fillSlot. The L1 install itself needs
+	// no directory traffic at all.
 	var lat, mask, val uint64
 	cause := CauseL2
-	if s := (e >> dirL2Shift) & dirSlotMask; s != 0 {
+	if s := e & dirSlotMask; s != 0 {
 		slot := int(s) - 1
 		c.ctr.L2Hits++
 		lat = c.waitReady(c.l2, slot, c.cfg.L2.HitLatency)
@@ -328,8 +343,8 @@ func (c *Core) access(line uint64, overlapped bool) bool {
 			lat = c.cfg.DRAMLatency
 			v3 := c.llc.victimOf(line)
 			c.llc.fillSlot(v3, line, c.clock, c.clock)
-			mask |= dirSlotMask << dirLLCShift
-			val |= uint64(v3+1) << dirLLCShift
+			mask = dirSlotMask << dirLLCShift
+			val = uint64(v3+1) << dirLLCShift
 		}
 		v2 := c.l2.victimOf(line)
 		c.l2.fillSlot(v2, line, c.clock, c.clock)
@@ -344,9 +359,10 @@ func (c *Core) access(line uint64, overlapped bool) bool {
 	if c.trc != nil {
 		c.Emit(TraceStall, cause, lat, line<<lineShift, 0)
 	}
-	v1 := c.l1.victimOf(line)
-	c.l1.fillSlot(v1, line, c.clock, c.clock)
-	c.dir.setFields(line, mask|dirSlotMask<<dirL1Shift, val|uint64(v1+1)<<dirL1Shift)
+	l1.fillExact(l1.victimOf(line), line, c.clock, c.clock)
+	if mask != 0 {
+		c.dir.setFields(line, mask, val)
+	}
 	return true
 }
 
@@ -488,14 +504,13 @@ func (c *Core) prefetchLine(line uint64) {
 		c.prefetchMissScan(line)
 		return
 	}
-	// One directory probe answers the redundancy check and — on a miss
-	// — where the fill comes from; prefetchMissAt reuses it.
-	e := c.dir.get(line)
-	if e&dirSlotMask != 0 {
+	// The redundancy check is the exact L1 index; only a genuine miss
+	// pays the directory probe that prices the fill.
+	if c.l1.findExact(line) >= 0 {
 		c.prefetchRedundant(line)
 		return
 	}
-	c.prefetchMissAt(line, e)
+	c.prefetchMiss(line)
 }
 
 // prefetchRedundant charges a prefetch for a line already in L1.
@@ -508,17 +523,14 @@ func (c *Core) prefetchRedundant(line uint64) {
 
 // prefetchMiss is the tail of a prefetch issue for a line known absent
 // from L1: MSHR admission, fill-latency determination and the installs.
+// The directory probe that prices the fill runs only after admission —
+// a dropped prefetch changes nothing the probe could inform, so the
+// cold table touch would be pure waste on the drop path.
 func (c *Core) prefetchMiss(line uint64) {
 	if c.scan {
 		c.prefetchMissScan(line)
 		return
 	}
-	c.prefetchMissAt(line, c.dir.get(line))
-}
-
-// prefetchMissAt finishes a prefetch issue given the line's directory
-// value e (its L1 field is zero: the caller established absence).
-func (c *Core) prefetchMissAt(line uint64, e uint64) {
 	if c.mshrInFlight > 0 && c.clock >= c.minReady {
 		c.drainMSHRs()
 	}
@@ -526,13 +538,20 @@ func (c *Core) prefetchMissAt(line uint64, e uint64) {
 		c.prefetchDropped(line)
 		return
 	}
+	c.prefetchMissAt(line, c.dir.get(line))
+}
+
+// prefetchMissAt finishes an *admitted* prefetch issue given the line's
+// outer-level directory value e (the caller established absence from L1
+// and MSHR availability).
+func (c *Core) prefetchMissAt(line uint64, e uint64) {
 	// Fill latency depends on where the line currently lives. Victims
 	// are picked lazily — only the levels actually installed into pay
 	// the LRU pass, and redundant/dropped issues above pay none. As in
-	// access, installed levels batch their directory fields into one
-	// setFields probe on the warm cluster.
+	// access, outer installs batch their directory fields into one
+	// setFields probe on the warm cluster; outer hits write nothing.
 	var mask, val, fill uint64
-	if (e>>dirL2Shift)&dirSlotMask != 0 {
+	if e&dirSlotMask != 0 {
 		fill = c.cfg.L2.HitLatency
 	} else if e>>dirLLCShift != 0 {
 		fill = c.cfg.LLC.HitLatency
@@ -547,9 +566,11 @@ func (c *Core) prefetchMissAt(line uint64, e uint64) {
 	}
 	ready := c.clock + fill
 	v1 := c.l1.victimOf(line)
-	c.l1.fillSlot(v1, line, c.clock, ready)
+	c.l1.fillExact(v1, line, c.clock, ready)
 	c.l1.pref[v1] = true
-	c.dir.setFields(line, mask|dirSlotMask<<dirL1Shift, val|uint64(v1+1)<<dirL1Shift)
+	if mask != 0 {
+		c.dir.setFields(line, mask, val)
+	}
 	c.mshrPush(ready)
 	c.ctr.PrefetchIssued++
 	if c.trc != nil {
@@ -685,7 +706,7 @@ func (c *Core) ResidentL1(addr, size uint64) bool {
 		return true
 	}
 	for line := first; line <= last; line++ {
-		if c.dir.get(line)&dirSlotMask == 0 {
+		if c.l1.findExact(line) < 0 {
 			return false
 		}
 	}
@@ -693,22 +714,24 @@ func (c *Core) ResidentL1(addr, size uint64) bool {
 }
 
 // ResidentL1Line reports whether the single line containing addr is
-// present in L1 (in-flight fills count as present): one directory
-// probe in the common case, the pre-resolved form of ResidentL1 used by
-// compiled step plans. The first probe is spelled out here (rather than
-// delegating to the directory's looped get) so the call inlines into
-// the scheduler's P-state check loop.
+// present in L1 (in-flight fills count as present): the exact map's
+// home probe in the common case, the pre-resolved form of ResidentL1
+// used by compiled step plans. The home probe is spelled out here
+// (rather than delegating to findExact) so the call inlines into the
+// scheduler's P-state check loop.
 func (c *Core) ResidentL1Line(addr uint64) bool {
 	line := addr >> lineShift
 	if c.scan {
 		return c.l1.find(line) >= 0
 	}
-	d := c.dir
-	i := ((line * fibMul) >> d.shift) * 2
-	if k := d.tab[i]; k == line<<1|1 {
-		return d.tab[i+1]&dirSlotMask != 0
-	} else if k == 0 {
+	l1 := c.l1
+	k := l1.kv[((line*fibMul)>>l1.mapShift)*2]
+	if k == l1.genw+(line<<1|1) {
+		return true
+	}
+	if k&1 == 0 || k>>l1GenShift != l1.gen {
+		// Free or stale home slot: the authoritative miss verdict.
 		return false
 	}
-	return d.get(line)&dirSlotMask != 0
+	return l1.findExact(line) >= 0
 }

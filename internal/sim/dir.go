@@ -1,20 +1,19 @@
 package sim
 
-// The unified residency directory: one open-addressed, Fibonacci-hashed
-// table keyed by line number whose value packs the line's slot in every
-// cache level it currently occupies. It replaces the per-level lookup
-// walk (L1 shadow index, then cold L2 and LLC dense tag scans) with a
-// single probe that resolves *any* level at once — and a directory miss
-// *is* the DRAM case, so the demand-miss and prefetch-probe hot paths
-// touch no per-level tag array at all.
+// The outer-level residency directory: one open-addressed,
+// Fibonacci-hashed table recording, for every line resident in L2 or
+// the LLC, which slot of each it occupies. It is the second hop of the
+// tiered residency lookup — the L1 exact index (see cache.go) answers
+// the overwhelmingly common L1 case against a small dense array, and
+// only a demand L1 miss probes this table; a directory miss *is* the
+// DRAM case, so the miss path still touches no per-level tag array.
 //
 // Invariants (checked continuously by the scan-twin fuzz and
 // differential tests):
 //
-//   - One entry per resident line. A line resident in several levels
-//     (the common case right after a DRAM fill) has one entry whose
-//     value carries one slot field per level; a line resident nowhere
-//     has no entry.
+//   - One entry per line resident in at least one outer level. A line
+//     in both (the common case right after a DRAM fill) has one entry
+//     carrying both slot fields; a line in neither has no entry.
 //   - Every maintenance site is O(1) amortized. Installs know the slot
 //     they fill, and the evicted line is always in hand at install time
 //     (recovered from the victim slot's compact tag plus the shared set
@@ -26,16 +25,33 @@ package sim
 //     every lookup through the historical scans instead, and the twin
 //     must produce bit-identical access logs, counters and clocks.
 //
-// Geometry: the table is a flat []uint64 with entries at stride 2 —
-// key at 2i (line<<1|1, 0 = empty), packed value at 2i+1 — so one probe
-// reads key and value from the same host cache line. Linear probing,
-// backward-shift deletion (no tombstones, so probe lengths never rot).
-// Sized at the next power of two above twice the hierarchy's total slot
-// count, the load factor stays below one half and probes average close
-// to a single touch.
+// Geometry: key and value share one uint64, so a probe touches a
+// single word — half the bytes of the historical stride-2 layout, and
+// one host cache line covers eight entries instead of four:
+//
+//	bits [42, 64): the low 22 bits of the line number (key remnant)
+//	bits [21, 42): LLC slot+1 (0 = not resident there)
+//	bits [ 0, 21): L2  slot+1 (0 = not resident there)
+//
+// A live entry always has at least one nonzero slot field, so entry 0
+// means empty. The remnant alone cannot identify a line (lines exceed
+// 22 bits), so a remnant match is confirmed against a parallel 4-byte
+// high-word array (hi) holding the line bits above the remnant —
+// together they reconstruct the full line exactly. The confirmation is
+// a second *indexed* load at the same probe position, which the host
+// issues in parallel with the entry load itself; the historical
+// alternative — reconstructing the line from a slot field via the
+// owning level's compact tag — serialized a dependent load through the
+// megabyte-scale tag arrays on every confirmed hit, and profiling
+// showed that chain dominating the outer-hit path. Linear probing,
+// backward-shift deletion (no tombstones, so probe lengths never rot;
+// the shifted entry's home position is recomputed from its own
+// remnant+hi words, no tag read). Sized at the next power of two at or
+// above twice the outer levels' total slot count, the load factor
+// stays below one half and probes average close to a single touch.
 
 // dirSlotBits is the width of one per-level slot field in a directory
-// value: slot+1 in bits [shift, shift+dirSlotBits), 0 = not resident at
+// entry: slot+1 in bits [shift, shift+dirSlotBits), 0 = not resident at
 // that level. 21 bits bound each level at 2^21-1 slots (128 MiB of
 // 64 B lines), enforced by CacheConfig.validate.
 const (
@@ -43,26 +59,47 @@ const (
 	dirSlotMask = 1<<dirSlotBits - 1
 
 	// Per-level field shifts. cache.levelShift holds one of these.
-	dirL1Shift  = 0
-	dirL2Shift  = dirSlotBits
-	dirLLCShift = 2 * dirSlotBits
+	dirL2Shift  = 0
+	dirLLCShift = dirSlotBits
+
+	// dirFieldsMask covers both slot fields of an entry.
+	dirFieldsMask = 1<<(2*dirSlotBits) - 1
+
+	// dirRemShift/dirRemMask place the key remnant — the low 22 bits of
+	// the line number — above the slot fields.
+	dirRemShift = 2 * dirSlotBits
+	dirRemMask  = 1<<(64-dirRemShift) - 1
+
+	// maxDirLine bounds the line numbers the directory can key exactly:
+	// the bits above the 22-bit remnant must fit hi's uint32 (2^54 lines
+	// is exabytes of address space). Enforced by a panic at insert.
+	maxDirLine = 1 << (64 - dirRemShift + 32)
 )
 
-// residencyDir is the unified residency directory shared by the three
-// levels of one Core (or attached to standalone caches in tests).
+// residencyDir is the outer-level residency directory shared by the L2
+// and LLC of one Core (or attached to standalone caches in tests).
 type residencyDir struct {
-	// tab holds entries at stride 2: tab[2i] is the key (line<<1|1,
-	// 0 = empty), tab[2i+1] the packed per-level slot fields.
+	// tab holds one packed entry per index; 0 = empty.
 	tab []uint64
-	// mask is entryCount-1 for index wrapping.
+	// hi holds, per index, the live entry's line bits above the remnant
+	// (line >> dirRemShift); garbage where tab is 0. tab[i]'s remnant
+	// plus hi[i] reconstruct the entry's full line with no tag read.
+	hi []uint32
+	// mask is len(tab)-1 for index wrapping.
 	mask uint64
-	// shift maps a Fibonacci-hashed line's top bits onto entry indexes.
+	// shift maps a Fibonacci-hashed line's top bits onto indexes.
 	shift uint
+	// live counts entries, so reset sweeps can stop at the last one.
+	live int
+	// l2 and llc are the attached levels; sweepReset zeroes the tags
+	// their entries' slot fields point at.
+	l2, llc *cache
 }
 
-// newResidencyDir sizes a directory for a hierarchy holding at most
+// newResidencyDir sizes a directory for outer levels holding at most
 // slots resident lines: the table gets the next power of two at or
-// above twice that, keeping the load factor under one half.
+// above twice that, keeping the load factor under one half. attach must
+// be called before any entry is installed.
 func newResidencyDir(slots int) *residencyDir {
 	size := 1
 	for size < slots*2 {
@@ -73,55 +110,89 @@ func newResidencyDir(slots int) *residencyDir {
 		shift--
 	}
 	return &residencyDir{
-		tab:   make([]uint64, 2*size),
+		tab:   make([]uint64, size),
+		hi:    make([]uint32, size),
 		mask:  uint64(size - 1),
 		shift: shift,
 	}
 }
 
-// get returns line's packed residency value, or 0 when the line is
-// resident nowhere (the DRAM case). One probe in the common case; the
-// walk past occupied neighbours is collision overflow only.
+// attach wires the directory to its two levels.
+func (d *residencyDir) attach(l2, llc *cache) {
+	d.l2 = l2
+	d.llc = llc
+}
+
+// lineAt reconstructs the live entry at index i's full line number from
+// its key remnant and high word. Exact: both halves are written at
+// insert (with the maxDirLine bound) and move together under
+// backward-shift deletion, so they always describe the same line.
+func (d *residencyDir) lineAt(i uint64) uint64 {
+	return uint64(d.hi[i])<<(64-dirRemShift) | d.tab[i]>>dirRemShift
+}
+
+// get returns line's packed outer-level slot fields, or 0 when the line
+// is resident in neither outer level (the DRAM case). The home probe is
+// split out so it inlines into the demand-miss and prefetch paths: an
+// empty home slot — the most common DRAM verdict at load factor < 0.5 —
+// costs one multiply, one load and one branch in line; any occupied
+// home falls out to the cluster walk. A remnant match is confirmed
+// against the parallel high word (two indexed loads the host overlaps),
+// so aliased remnants within a cluster cannot cross-talk.
 func (d *residencyDir) get(line uint64) uint64 {
-	key := line<<1 | 1
 	i := (line * fibMul) >> d.shift
+	if d.tab[i] == 0 {
+		return 0
+	}
+	return d.getSlow(line, i)
+}
+
+//go:noinline
+func (d *residencyDir) getSlow(line, i uint64) uint64 {
+	rem := line & dirRemMask
+	h := uint32(line >> (64 - dirRemShift))
 	for {
-		k := d.tab[i*2]
-		if k == key {
-			return d.tab[i*2+1]
-		}
-		if k == 0 {
+		e := d.tab[i]
+		if e == 0 {
 			return 0
+		}
+		if e>>dirRemShift == rem && d.hi[i] == h {
+			return e & dirFieldsMask
 		}
 		i = (i + 1) & d.mask
 	}
 }
 
-// set records that line now occupies slot at the level identified by
-// shift (one of dirL1Shift/dirL2Shift/dirLLCShift), creating the
-// line's entry if this is its first resident level.
+// set records that line now occupies slot at the outer level identified
+// by shift (dirL2Shift or dirLLCShift), creating the line's entry if
+// this is its first resident outer level.
 func (d *residencyDir) set(line uint64, shift uint, slot int) {
 	d.setFields(line, dirSlotMask<<shift, uint64(slot+1)<<shift)
 }
 
-// setFields applies several slot fields to line's entry in one probe:
-// the bits under mask are replaced by val (val must lie within mask),
-// and the entry is created when absent. The fill paths use this to
-// record a line's install into every level it entered — up to three
-// fields — with a single walk of the probe cluster, which the lookup
-// that preceded the fill has already pulled into the host's cache.
+// setFields applies both slot fields to line's entry in one probe: the
+// bits under mask are replaced by val (val must lie within mask), and
+// the entry is created when absent. The DRAM fill paths use this to
+// record a line's install into both outer levels with a single walk of
+// the probe cluster, which the lookup that preceded the fill has
+// already pulled into the host's cache.
 func (d *residencyDir) setFields(line uint64, mask, val uint64) {
-	key := line<<1 | 1
+	if line >= maxDirLine {
+		panic("sim: line address too large for the residency directory")
+	}
+	rem := line & dirRemMask
+	h := uint32(line >> (64 - dirRemShift))
 	i := (line * fibMul) >> d.shift
 	for {
-		k := d.tab[i*2]
-		if k == key {
-			d.tab[i*2+1] = d.tab[i*2+1]&^mask | val
+		e := d.tab[i]
+		if e == 0 {
+			d.tab[i] = rem<<dirRemShift | val
+			d.hi[i] = h
+			d.live++
 			return
 		}
-		if k == 0 {
-			d.tab[i*2] = key
-			d.tab[i*2+1] = val
+		if e>>dirRemShift == rem && d.hi[i] == h {
+			d.tab[i] = e&^mask | val
 			return
 		}
 		i = (i + 1) & d.mask
@@ -129,23 +200,30 @@ func (d *residencyDir) setFields(line uint64, mask, val uint64) {
 }
 
 // clear removes line's slot field for the level identified by shift,
-// deleting the whole entry when that was its last resident level. A
-// clear for an absent line is a no-op (never happens from cache
-// maintenance; tolerated for robustness).
-func (d *residencyDir) clear(line uint64, shift uint) {
-	key := line<<1 | 1
+// deleting the whole entry when that was its last resident outer level.
+// Called from fillSlot before the victim's tag is overwritten, with the
+// victim slot in hand — so the match is on the slot field itself, not
+// the remnant: at most one entry in the table can point at (level,
+// slot), and the residency invariant says it is line's entry, making
+// the field compare exact with no remnant check and no tag
+// reconstruction (the cluster walk touches only the table). A clear for
+// an absent line is a no-op (never happens from cache maintenance;
+// tolerated for robustness).
+func (d *residencyDir) clear(line uint64, shift uint, slot int) {
+	want := uint64(slot+1) << shift
+	mask := uint64(dirSlotMask) << shift
 	i := (line * fibMul) >> d.shift
 	for {
-		k := d.tab[i*2]
-		if k == key {
-			if v := d.tab[i*2+1] &^ (dirSlotMask << shift); v != 0 {
-				d.tab[i*2+1] = v
+		e := d.tab[i]
+		if e == 0 {
+			return
+		}
+		if e&mask == want {
+			if v := e &^ mask; v&dirFieldsMask != 0 {
+				d.tab[i] = v
 			} else {
 				d.del(i)
 			}
-			return
-		}
-		if k == 0 {
 			return
 		}
 		i = (i + 1) & d.mask
@@ -160,21 +238,24 @@ func (d *residencyDir) del(i uint64) {
 	j := i
 	for {
 		j = (j + 1) & d.mask
-		k := d.tab[j*2]
-		if k == 0 {
+		e := d.tab[j]
+		if e == 0 {
 			break
 		}
-		// Home position of the entry at j. It may fill the hole at i
-		// only if its home does not lie cyclically within (i, j] —
-		// otherwise a probe for it starting at home would stop at the
-		// new hole j before reaching it.
-		h := ((k >> 1) * fibMul) >> d.shift
+		// Home position of the entry at j (its line recovered from its
+		// own remnant+hi words). It may fill the hole at i only if its
+		// home does not lie cyclically within (i, j] — otherwise a probe
+		// for it starting at home would stop at the new hole j before
+		// reaching it.
+		h := (d.lineAt(j) * fibMul) >> d.shift
 		if (j-h)&d.mask >= (j-i)&d.mask {
-			d.tab[i*2], d.tab[i*2+1] = k, d.tab[j*2+1]
+			d.tab[i] = e
+			d.hi[i] = d.hi[j]
 			i = j
 		}
 	}
-	d.tab[i*2], d.tab[i*2+1] = 0, 0
+	d.tab[i] = 0
+	d.live--
 }
 
 // clearLevel strips the slot field of the level identified by shift
@@ -183,41 +264,71 @@ func (d *residencyDir) del(i uint64) {
 // zero, re-insert) rather than in-place deletion: backward-shift
 // deletes during a forward sweep can move a not-yet-visited entry into
 // an already-swept position when a probe cluster wraps the table end.
-// O(table), used only on reset paths.
+// O(table), used only on whole-level invalidation.
 func (d *residencyDir) clearLevel(shift uint) {
-	type kv struct{ k, v uint64 }
-	var live []kv
-	for i := uint64(0); i <= d.mask; i++ {
-		k := d.tab[i*2]
-		if k == 0 {
+	var live []uint64
+	var liveHi []uint32
+	for i := range d.tab {
+		e := d.tab[i]
+		if e == 0 {
 			continue
 		}
-		if v := d.tab[i*2+1] &^ (dirSlotMask << shift); v != 0 {
-			live = append(live, kv{k, v})
+		if v := e &^ (dirSlotMask << shift); v&dirFieldsMask != 0 {
+			live = append(live, v)
+			liveHi = append(liveHi, d.hi[i])
 		}
-		d.tab[i*2], d.tab[i*2+1] = 0, 0
+		d.tab[i] = 0
 	}
-	for _, e := range live {
-		i := ((e.k >> 1) * fibMul) >> d.shift
-		for d.tab[i*2] != 0 {
+	d.live = len(live)
+	for k, e := range live {
+		line := uint64(liveHi[k])<<(64-dirRemShift) | e>>dirRemShift
+		i := (line * fibMul) >> d.shift
+		for d.tab[i] != 0 {
 			i = (i + 1) & d.mask
 		}
-		d.tab[i*2], d.tab[i*2+1] = e.k, e.v
+		d.tab[i] = e
+		d.hi[i] = liveHi[k]
 	}
 }
 
-// reset empties the directory; used by Core.Reset.
+// sweepReset empties the directory and invalidates both attached
+// levels' tags in one pass over the table, stopping at the last live
+// entry: O(live entries) instead of O(level bytes), which is what makes
+// Core.Reset cheap enough to pool cores across sweep points. Every
+// valid outer tag is reachable from exactly one entry (the residency
+// invariant), so zeroing the slots the entries point at invalidates the
+// levels completely.
+func (d *residencyDir) sweepReset() {
+	for i := 0; d.live > 0; i++ {
+		e := d.tab[i]
+		if e == 0 {
+			continue
+		}
+		if s := e & dirSlotMask; s != 0 {
+			d.l2.tags[s-1] = 0
+		}
+		if s := (e >> dirLLCShift) & dirSlotMask; s != 0 {
+			d.llc.tags[s-1] = 0
+		}
+		d.tab[i] = 0
+		d.live--
+	}
+}
+
+// reset empties the directory without touching the attached levels;
+// raw-table test helper (Core.Reset uses sweepReset).
 func (d *residencyDir) reset() {
 	for i := range d.tab {
 		d.tab[i] = 0
 	}
+	d.live = 0
 }
 
 // entries counts live entries; test and diagnostics helper.
 func (d *residencyDir) entries() int {
 	n := 0
-	for i := uint64(0); i <= d.mask; i++ {
-		if d.tab[i*2] != 0 {
+	for _, e := range d.tab {
+		if e != 0 {
 			n++
 		}
 	}

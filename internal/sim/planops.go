@@ -4,7 +4,7 @@ package sim
 // internal/model's plan compiler). Plans lower every declared access to
 // a (base-table index, pre-added offset) pair; the loops that charge
 // those accesses live here, on the Core, so one call per phase replaces
-// one call per access and the directory pointer, clock and counters
+// one call per access and the L1 index pointers, clock and counters
 // stay register-resident across a whole span list.
 //
 // The charged sequence is identical to calling Read/Write/Prefetch/
@@ -29,30 +29,29 @@ type FetchOp struct {
 }
 
 // ReadSpans charges a demand read per op, exactly Read(addr, size) in
-// op order. The single-line L1-hit fast path is the first directory
+// op order. The single-line L1-hit fast path is the exact map's home
 // probe spelled out inline (Read's own fast path, hoisted into the
-// loop); anything else — collision, outer-level residency, in-flight
-// fill, multi-line span — falls through to the full burst machinery.
+// loop); anything else — probe displacement, outer-level residency,
+// in-flight fill, multi-line span — falls through to the full burst
+// machinery.
 func (c *Core) ReadSpans(bases *[8]uint64, ops []PlanOp) {
-	d := c.dir
+	l1 := c.l1
 	fast := c.alog == nil && !c.scan
 	for i := range ops {
 		op := &ops[i]
 		addr := bases[op.Base&7] + op.Off
 		line := addr >> lineShift
 		if fast && (addr+op.Size-1)>>lineShift == line && op.Size != 0 {
-			j := ((line * fibMul) >> d.shift) * 2
-			if d.tab[j] == line<<1|1 {
-				if s := d.tab[j+1] & dirSlotMask; s != 0 {
-					slot := int(s) - 1
-					if c.l1.ready[slot] <= c.clock && !c.l1.pref[slot] {
-						c.ctr.Reads++
-						c.ctr.Instructions++
-						c.ctr.L1Hits++
-						c.clock += c.cfg.L1.HitLatency
-						c.l1.stamps[slot] = c.clock
-						continue
-					}
+			f := ((line * fibMul) >> l1.mapShift) * 2
+			if l1.kv[f] == l1.genw+(line<<1|1) {
+				s := int(l1.kv[f+1])
+				if l1.ready[s] <= c.clock && !l1.pref[s] {
+					c.ctr.Reads++
+					c.ctr.Instructions++
+					c.ctr.L1Hits++
+					c.clock += c.cfg.L1.HitLatency
+					l1.stamps[s] = c.clock
+					continue
 				}
 			}
 		}
@@ -63,25 +62,23 @@ func (c *Core) ReadSpans(bases *[8]uint64, ops []PlanOp) {
 // WriteSpans charges a demand write per op, exactly Write(addr, size)
 // in op order.
 func (c *Core) WriteSpans(bases *[8]uint64, ops []PlanOp) {
-	d := c.dir
+	l1 := c.l1
 	fast := c.alog == nil && !c.scan
 	for i := range ops {
 		op := &ops[i]
 		addr := bases[op.Base&7] + op.Off
 		line := addr >> lineShift
 		if fast && (addr+op.Size-1)>>lineShift == line && op.Size != 0 {
-			j := ((line * fibMul) >> d.shift) * 2
-			if d.tab[j] == line<<1|1 {
-				if s := d.tab[j+1] & dirSlotMask; s != 0 {
-					slot := int(s) - 1
-					if c.l1.ready[slot] <= c.clock && !c.l1.pref[slot] {
-						c.ctr.Writes++
-						c.ctr.Instructions++
-						c.ctr.L1Hits++
-						c.clock += c.cfg.L1.HitLatency
-						c.l1.stamps[slot] = c.clock
-						continue
-					}
+			f := ((line * fibMul) >> l1.mapShift) * 2
+			if l1.kv[f] == l1.genw+(line<<1|1) {
+				s := int(l1.kv[f+1])
+				if l1.ready[s] <= c.clock && !l1.pref[s] {
+					c.ctr.Writes++
+					c.ctr.Instructions++
+					c.ctr.L1Hits++
+					c.clock += c.cfg.L1.HitLatency
+					l1.stamps[s] = c.clock
+					continue
 				}
 			}
 		}
@@ -92,29 +89,27 @@ func (c *Core) WriteSpans(bases *[8]uint64, ops []PlanOp) {
 // FirstNonResident returns the index of the first op whose lines are
 // not all L1-resident, or -1 when the whole plan is resident. Residency
 // probes charge nothing, exactly like ResidentL1. Single-line ops
-// resolve on the first directory probe in the common case (hit in home
-// position, or empty home = non-resident); only collisions walk the
-// probe cluster.
+// resolve on the exact map's home probe in the common case; only probe
+// displacement walks the cluster.
 func (c *Core) FirstNonResident(bases *[8]uint64, ops []FetchOp) int {
 	if c.scan {
 		return c.firstNonResidentScan(bases, ops)
 	}
-	d := c.dir
+	l1 := c.l1
 	for i := range ops {
 		op := &ops[i]
 		addr := bases[op.Base&7] + op.Off
 		if op.Line {
 			line := addr >> lineShift
-			j := ((line * fibMul) >> d.shift) * 2
-			if k := d.tab[j]; k == line<<1|1 {
-				if d.tab[j+1]&dirSlotMask != 0 {
-					continue
-				}
-				return i
-			} else if k == 0 {
+			k := l1.kv[((line*fibMul)>>l1.mapShift)*2]
+			if k == l1.genw+(line<<1|1) {
+				continue
+			}
+			if k&1 == 0 || k>>l1GenShift != l1.gen {
+				// Free or stale home slot: the authoritative miss.
 				return i
 			}
-			if d.get(line)&dirSlotMask == 0 {
+			if l1.findExact(line) < 0 {
 				return i
 			}
 		} else if !c.ResidentL1(addr, op.Size) {
@@ -122,6 +117,26 @@ func (c *Core) FirstNonResident(bases *[8]uint64, ops []FetchOp) int {
 		}
 	}
 	return -1
+}
+
+// warmDir touches the directory home slot of every line op at or after
+// the first known miss, before the issue loop probes them for real.
+// Pure host-side memory-level parallelism: the loads are independent
+// and issued back to back, so the host overlaps their cache misses,
+// where the issue loop's probes are separated by enough dependent work
+// (fills, victim passes, MSHR bookkeeping) that each miss would
+// serialize. Reads only; no simulated state is touched.
+func (c *Core) warmDir(bases *[8]uint64, ops []FetchOp, miss int) {
+	d := c.dir
+	var w uint64
+	for i := miss; i < len(ops); i++ {
+		op := &ops[i]
+		if op.Line {
+			line := (bases[op.Base&7] + op.Off) >> lineShift
+			w ^= d.tab[(line*fibMul)>>d.shift]
+		}
+	}
+	c.warmSink = w
 }
 
 // firstNonResidentScan is the verification-twin FirstNonResident,
@@ -148,12 +163,15 @@ func (c *Core) firstNonResidentScan(bases *[8]uint64, ops []FetchOp) int {
 // installs nothing before reaching op miss, and the clock alone never
 // evicts — so their probes are skipped and the redundant path charged
 // directly; op miss, when it is a single line, is likewise still absent
-// and skips its guaranteed-miss L1 probe (prefetchMiss re-probes the
-// directory once to price the fill). Ops after miss take the full
-// probing path, where one directory probe answers both the redundancy
-// check and the fill source. The charged sequence is identical to
-// issuing the plan blind.
+// and skips its guaranteed-miss L1 probe (prefetchMiss probes the
+// outer directory once to price the fill). Ops after miss take the full
+// probing path: the exact L1 index answers the redundancy check, and
+// only a genuine miss pays the directory probe for the fill source. The
+// charged sequence is identical to issuing the plan blind.
 func (c *Core) IssueFetch(bases *[8]uint64, ops []FetchOp, miss int) {
+	if !c.scan && miss >= 0 {
+		c.warmDir(bases, ops, miss)
+	}
 	for i := range ops {
 		op := &ops[i]
 		addr := bases[op.Base&7] + op.Off
@@ -178,11 +196,10 @@ func (c *Core) IssueFetch(bases *[8]uint64, ops []FetchOp, miss int) {
 					}
 					continue
 				}
-				e := c.dir.get(line)
-				if e&dirSlotMask != 0 {
+				if c.l1.findExact(line) >= 0 {
 					c.prefetchRedundant(line)
 				} else {
-					c.prefetchMissAt(line, e)
+					c.prefetchMiss(line)
 				}
 			}
 		} else {

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CorePool recycles Cores of one configuration across experiment runs.
+// A Core's backing arrays are megabyte-scale (outer tag/stamp/ready
+// arrays plus the residency directory), so sweeps that run hundreds of
+// points — fig10's offered-load grid, the ablation matrix — used to
+// allocate and fault that footprint per point. With the pool each
+// worker grabs a generation-reset core instead: Reset is O(what the
+// last run touched) (see Core.Reset), and the reset-vs-fresh
+// differential test guarantees a pooled core is observationally
+// indistinguishable from a new one.
+//
+// The pool itself is safe for concurrent Get/Put (the parallel sweep
+// runner's workers share one), but each checked-out Core remains
+// single-goroutine, as always.
+type CorePool struct {
+	cfg  Config
+	mu   sync.Mutex
+	free []*Core
+
+	// news and reuses count Get calls served by construction vs. by
+	// recycling; sweep tests assert the pool actually pools.
+	news   atomic.Int64
+	reuses atomic.Int64
+}
+
+// NewCorePool returns an empty pool producing Cores of cfg. The config
+// is validated lazily by the first Get, exactly as NewCore would.
+func NewCorePool(cfg Config) *CorePool {
+	return &CorePool{cfg: cfg}
+}
+
+// Get returns a reset Core, recycling a pooled one when available.
+func (p *CorePool) Get() (*Core, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		p.reuses.Add(1)
+		return c, nil
+	}
+	p.mu.Unlock()
+	p.news.Add(1)
+	return NewCore(p.cfg)
+}
+
+// Put resets c and returns it to the pool. Observation hooks (tracer,
+// access log) are detached first: they are per-run attachments, and a
+// recycled core must come back as bare as a new one.
+func (p *CorePool) Put(c *Core) {
+	if c == nil {
+		return
+	}
+	c.SetTracer(nil)
+	c.SetAccessLog(nil)
+	c.SetScanLookups(false)
+	c.Reset()
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+// Stats reports how many Gets were served by construction and by reuse.
+func (p *CorePool) Stats() (news, reuses int64) {
+	return p.news.Load(), p.reuses.Load()
+}

@@ -46,22 +46,49 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== building baseline ($BASE) and working-tree test binaries for $PKG" >&2
-git -C "$root" worktree add --detach "$tmp/base" "$BASE" >/dev/null 2>&1
-(cd "$tmp/base" && go test -c -o "$tmp/base.test" "$PKG")
-(cd "$root" && go test -c -o "$tmp/new.test" "$PKG")
+if ! git -C "$root" worktree add --detach "$tmp/base" "$BASE" >"$tmp/worktree.log" 2>&1; then
+	echo "bench_paired: cannot create a worktree at baseline '$BASE':" >&2
+	cat "$tmp/worktree.log" >&2
+	exit 1
+fi
+if ! (cd "$tmp/base" && go test -c -o "$tmp/base.test" "$PKG") >"$tmp/base_build.log" 2>&1; then
+	echo "bench_paired: baseline test binary failed to build at $BASE for $PKG:" >&2
+	cat "$tmp/base_build.log" >&2
+	echo "bench_paired: the baseline side builds from the seed worktree alone — if $PKG" >&2
+	echo "bench_paired: (or its benchmarks) did not exist at $BASE, choose an older PKG" >&2
+	echo "bench_paired: or a newer BASE; working-tree-only benchmarks cannot be paired." >&2
+	exit 1
+fi
+if ! (cd "$root" && go test -c -o "$tmp/new.test" "$PKG") >"$tmp/new_build.log" 2>&1; then
+	echo "bench_paired: working-tree test binary failed to build for $PKG:" >&2
+	cat "$tmp/new_build.log" >&2
+	exit 1
+fi
 
 mkdir -p "$OUT"
 : >"$OUT/base.txt"
 : >"$OUT/new.txt"
 
 run() { # side binary — append one benchstat sample per benchmark
-	"$2" -test.run '^$' -test.bench "$BENCH" -test.benchtime "$BENCHTIME" -test.benchmem 2>/dev/null >>"$OUT/$1.txt"
+	if ! "$2" -test.run '^$' -test.bench "$BENCH" -test.benchtime "$BENCHTIME" -test.benchmem >>"$OUT/$1.txt" 2>"$tmp/run.log"; then
+		echo "bench_paired: $1 benchmark binary failed:" >&2
+		cat "$tmp/run.log" >&2
+		exit 1
+	fi
 }
 
 for i in $(seq "$ROUNDS"); do
 	echo "== round $i/$ROUNDS" >&2
 	run base "$tmp/base.test"
 	run new "$tmp/new.test"
+done
+
+for side in base new; do
+	if ! grep -q 'ns/op' "$OUT/$side.txt"; then
+		echo "bench_paired: the $side binary produced no benchmark samples —" >&2
+		echo "bench_paired: does the regex '$BENCH' match a benchmark in $PKG on that side?" >&2
+		exit 1
+	fi
 done
 
 parse() { # side — normalize the side's raw file into "side bench ns"
