@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench-smoke bench-compile bench-paired profile quick trace-demo
+.PHONY: build test verify bench-smoke bench-compile bench-paired profile quick trace-demo metrics-demo
 
 build:
 	$(GO) build ./...
@@ -66,3 +66,10 @@ quick:
 trace-demo:
 	$(GO) run ./cmd/gunfu-bench -trace trace_demo.json -attr \
 		-nf nat -flows 4096 -packets 8000 -warmup 2000 -tasks 16
+
+# metrics-demo boots a one-worker cluster on loopback, scrapes the
+# worker's OpenMetrics endpoint mid-run, breaches an impossible SLO,
+# and collects the resulting flight-recorder dump (ui.perfetto.dev).
+# Artifacts land in metrics_demo_out/; see EXPERIMENTS.md.
+metrics-demo:
+	scripts/metrics_demo.sh

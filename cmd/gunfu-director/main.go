@@ -11,12 +11,20 @@
 // With -stats-every the agents stream windowed telemetry heartbeats
 // while they run, rendered as a per-agent table; -live redraws it in
 // place (ANSI), otherwise each refresh appends below the last.
+//
+// The -slo-* flags attach a per-window SLO watcher to the heartbeat
+// stream. When an agent's window breaches the SLO (too much stall, too
+// little throughput, too high a p99 — the latter needs -latency), the
+// director flips that agent unhealthy and asks it for a flight-recorder
+// dump: the worker writes the moments before the breach as a
+// Perfetto-loadable trace and reports the file path back.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,9 +51,23 @@ func run() int {
 	deployTO := flag.Duration("deploy-timeout", 10*time.Minute, "per-deployment timeout")
 	statsEvery := flag.Uint64("stats-every", 0, "stream a telemetry heartbeat every N packets (0 = off)")
 	live := flag.Bool("live", false, "redraw the telemetry table in place (implies -stats-every)")
+	latency := flag.Bool("latency", false, "collect rx→done latency histograms with each heartbeat (implies -stats-every)")
+	sloMaxStall := flag.Float64("slo-max-stall", 0, "SLO: max tolerable per-window stall fraction (0 = unchecked)")
+	sloMinMpps := flag.Float64("slo-min-mpps", 0, "SLO: min tolerable per-window throughput in Mpps (0 = unchecked)")
+	sloMaxP99 := flag.Uint64("slo-max-p99-cycles", 0, "SLO: max tolerable per-window p99 rx→done latency in cycles, needs -latency (0 = unchecked)")
 	flag.Parse()
 
-	if *live && *statsEvery == 0 {
+	slo := director.SLO{
+		MaxStallFraction:    *sloMaxStall,
+		MinMpps:             *sloMinMpps,
+		MaxP99LatencyCycles: *sloMaxP99,
+	}
+	sloActive := slo != (director.SLO{})
+	if *sloMaxP99 > 0 && !*latency {
+		fmt.Fprintln(os.Stderr, "gunfu-director: -slo-max-p99-cycles needs -latency; enabling it")
+		*latency = true
+	}
+	if (*live || *latency || sloActive) && *statsEvery == 0 {
 		*statsEvery = *packets / 20
 		if *statsEvery == 0 {
 			*statsEvery = 1
@@ -60,13 +82,36 @@ func run() int {
 	}
 	defer d.Close()
 
+	var mon *director.Monitor
 	if *statsEvery > 0 {
-		mon := director.NewMonitor()
+		mon = director.NewMonitor()
+		var watcher *director.Watcher
+		if sloActive {
+			watcher = director.NewWatcher(slo)
+			watcher.OnBreach = func(b director.Breach) {
+				fmt.Fprintf(os.Stderr, "SLO BREACH %s window %d: %s — requesting flight dump\n",
+					b.Agent, b.Window, strings.Join(b.Reasons, "; "))
+				if err := d.RequestFlightDump(b.Agent); err != nil {
+					fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", err)
+				}
+			}
+			d.SetDumpHandler(func(info director.DumpInfo) {
+				if info.Error != "" {
+					fmt.Fprintf(os.Stderr, "flight dump from %s failed: %s\n", info.Agent, info.Error)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "flight dump from %s: %s (%d events) — open in ui.perfetto.dev\n",
+					info.Agent, info.Path, info.Events)
+			})
+		}
 		var mu sync.Mutex
 		d.SetStatsHandler(func(r director.StatsReport) {
 			mu.Lock()
 			defer mu.Unlock()
 			mon.Observe(r)
+			if watcher != nil {
+				watcher.Observe(r)
+			}
 			if *live {
 				// Home the cursor and clear below before redrawing.
 				fmt.Print("\033[H\033[2J")
@@ -92,6 +137,7 @@ func run() int {
 		SFCLength:   *sfcLength,
 		PDRs:        *pdrs,
 		StatsEvery:  *statsEvery,
+		Latency:     *latency,
 	}
 	fmt.Printf("deploying %s to %d agent(s): flows=%d packets=%d tasks=%d\n",
 		depl.NF, *agents, depl.Flows, depl.Packets, depl.Tasks)
@@ -108,5 +154,12 @@ func run() int {
 		total += r.Gbps()
 	}
 	fmt.Printf("aggregate: %.2f Gbps across %d agent(s)\n", total, len(results))
+	if *latency && mon != nil {
+		cl := mon.ClusterLatency()
+		if cl.Count() > 0 {
+			fmt.Printf("cluster rx→done latency (cycles): p50=%d p95=%d p99=%d p99.9=%d max=%d over %d packets\n",
+				cl.Quantile(0.50), cl.Quantile(0.95), cl.Quantile(0.99), cl.Quantile(0.999), cl.Max(), cl.Count())
+		}
+	}
 	return 0
 }

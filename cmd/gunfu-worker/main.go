@@ -4,12 +4,22 @@
 //
 // Usage:
 //
-//	gunfu-worker -connect 127.0.0.1:7700 -name worker-1
+//	gunfu-worker -connect 127.0.0.1:7700 -name worker-1 -metrics 127.0.0.1:8080
 //
-// With -expvar the agent also serves Go's expvar JSON on
-// http://<addr>/debug/vars, publishing the running deployment's
-// telemetry (windows seen, packets processed, last window's rates) for
-// scraping alongside the director's live view.
+// With -metrics the agent serves its observability plane on one HTTP
+// address:
+//
+//	/metrics       OpenMetrics/Prometheus text exposition: cumulative
+//	               volume counters, the raw PMU block, last-window
+//	               derived rates, rx→done latency quantiles, and Go
+//	               runtime gauges.
+//	/debug/vars    expvar JSON; the "gunfu" map is a read-only snapshot
+//	               of the same registry (no second set of fields).
+//	/debug/flight  the newest flight-recorder dump as Perfetto-loadable
+//	               trace JSON (404 until a dump has been taken).
+//	/debug/pprof   Go's standard profiling endpoints.
+//
+// -expvar is a deprecated alias for -metrics.
 package main
 
 import (
@@ -17,9 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strconv"
+	"sync"
 
 	"github.com/gunfu-nfv/gunfu/internal/director"
+	"github.com/gunfu-nfv/gunfu/internal/obs"
 )
 
 func main() {
@@ -29,27 +43,29 @@ func main() {
 func run() int {
 	connect := flag.String("connect", "127.0.0.1:7700", "director address")
 	name := flag.String("name", "", "agent name (required)")
-	expvarAddr := flag.String("expvar", "", "serve expvar telemetry on this HTTP address (e.g. 127.0.0.1:8080)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/flight and /debug/pprof on this HTTP address (e.g. 127.0.0.1:8080)")
+	expvarAddr := flag.String("expvar", "", "deprecated alias for -metrics")
+	flightEvents := flag.Int("flight-events", director.DefaultFlightEvents, "flight-recorder ring capacity in events (0 disables)")
+	dumpDir := flag.String("dump-dir", "", "directory for flight dumps (default: system temp dir)")
 	flag.Parse()
 
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "gunfu-worker: -name is required")
 		return 2
 	}
+	if *metricsAddr == "" {
+		*metricsAddr = *expvarAddr
+	}
 	a, err := director.NewAgent(*name, director.DefaultRegistry())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gunfu-worker: %v\n", err)
 		return 1
 	}
-	if *expvarAddr != "" {
-		a.OnStats = publishExpvar()
-		go func() {
-			// expvar registers /debug/vars on the default mux at init.
-			if err := http.ListenAndServe(*expvarAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "gunfu-worker: expvar: %v\n", err)
-			}
-		}()
-		fmt.Printf("agent %s serving expvar on http://%s/debug/vars\n", *name, *expvarAddr)
+	a.FlightEvents = *flightEvents
+	a.DumpDir = *dumpDir
+
+	if *metricsAddr != "" {
+		serveMetrics(a, *metricsAddr)
 	}
 	fmt.Printf("agent %s connecting to %s\n", *name, *connect)
 	if err := a.Run(*connect); err != nil {
@@ -60,26 +76,50 @@ func run() int {
 	return 0
 }
 
-// publishExpvar returns an OnStats hook feeding the process-wide
-// expvar variables. Heartbeats arrive on the single agent goroutine,
-// so plain expvar setters are enough.
-func publishExpvar() func(director.StatsReport) {
-	var (
-		windows = expvar.NewInt("gunfu.windows")
-		packets = expvar.NewInt("gunfu.packets_total")
-		nf      = expvar.NewString("gunfu.nf")
-		mpps    = expvar.NewFloat("gunfu.last_mpps")
-		gbps    = expvar.NewFloat("gunfu.last_gbps")
-		ipc     = expvar.NewFloat("gunfu.last_ipc")
-		stall   = expvar.NewFloat("gunfu.last_stall_fraction")
-	)
-	return func(r director.StatsReport) {
-		windows.Add(1)
-		packets.Add(int64(r.Packets))
-		nf.Set(r.NF)
-		mpps.Set(r.Mpps())
-		gbps.Set(r.Gbps())
-		ipc.Set(r.Counters.IPC())
-		stall.Set(r.Counters.StallFraction())
+// serveMetrics wires the agent's observability plane onto one HTTP
+// server. Every metric is defined once, in the registry the
+// MetricsBridge populates; expvar republishes a snapshot of it rather
+// than maintaining parallel fields.
+func serveMetrics(a *director.Agent, addr string) {
+	reg := obs.NewRegistry()
+	reg.AddGoRuntime()
+	bridge := director.NewMetricsBridge(reg)
+	a.OnStats = bridge.Observe
+
+	// expvar's /debug/vars is registered on the default mux at init;
+	// "gunfu" exposes the registry read-only.
+	expvar.Publish("gunfu", expvar.Func(func() any {
+		return reg.Snapshot()
+	}))
+
+	var mu sync.Mutex
+	var lastInfo director.DumpInfo
+	var lastDump []byte
+	a.OnDump = func(info director.DumpInfo, trace []byte) {
+		mu.Lock()
+		lastInfo = info
+		lastDump = append(lastDump[:0], trace...)
+		mu.Unlock()
 	}
+
+	http.Handle("/metrics", reg)
+	http.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		info := lastInfo
+		dump := append([]byte(nil), lastDump...)
+		mu.Unlock()
+		if len(dump) == 0 {
+			http.Error(w, "no flight dump taken yet (the director requests one on SLO breach)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Gunfu-Flight-Events", strconv.Itoa(info.Events))
+		_, _ = w.Write(dump)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-worker: metrics: %v\n", err)
+		}
+	}()
+	fmt.Printf("agent serving metrics on http://%s/metrics (pprof, expvar and flight dumps under /debug/)\n", addr)
 }

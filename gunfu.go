@@ -334,6 +334,15 @@ type (
 	// LatencyHistogram is the log-bucketed quantile histogram behind
 	// the latency tables.
 	LatencyHistogram = stats.Histogram
+	// FlightRecorder is the always-on fixed-size event ring, dumpable
+	// as a Perfetto trace after the fact.
+	FlightRecorder = obs.FlightRecorder
+	// LatencyProbe tracks only the rx→done latency distribution, cheap
+	// enough for serving deployments.
+	LatencyProbe = obs.LatencyProbe
+	// MetricsRegistry is the stdlib-only OpenMetrics text-exposition
+	// registry (mount it at /metrics).
+	MetricsRegistry = obs.Registry
 )
 
 // NewObsCollector builds an attribution collector for prog at freqHz.
@@ -349,3 +358,13 @@ func NewObsTraceWriter(prog *Program, freqHz float64) *ObsTraceWriter {
 // MultiTracer fans one event stream out to several tracers (nils are
 // dropped; an all-nil call returns nil, keeping the fast path).
 func MultiTracer(tracers ...Tracer) Tracer { return obs.Multi(tracers...) }
+
+// NewFlightRecorder builds an event ring holding the newest `size`
+// events (rounded up to a power of two, minimum 64).
+func NewFlightRecorder(size int) *FlightRecorder { return obs.NewFlightRecorder(size) }
+
+// NewLatencyProbe builds an rx→done latency tracer.
+func NewLatencyProbe() *LatencyProbe { return obs.NewLatencyProbe() }
+
+// NewMetricsRegistry builds an empty OpenMetrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

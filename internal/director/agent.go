@@ -2,9 +2,12 @@ package director
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 
 	"github.com/gunfu-nfv/gunfu/internal/compile"
 	"github.com/gunfu-nfv/gunfu/internal/mem"
@@ -14,6 +17,7 @@ import (
 	"github.com/gunfu-nfv/gunfu/internal/nf/monitor"
 	"github.com/gunfu-nfv/gunfu/internal/nf/nat"
 	"github.com/gunfu-nfv/gunfu/internal/nf/upf"
+	"github.com/gunfu-nfv/gunfu/internal/obs"
 	"github.com/gunfu-nfv/gunfu/internal/pkt"
 	"github.com/gunfu-nfv/gunfu/internal/rt"
 	"github.com/gunfu-nfv/gunfu/internal/rtc"
@@ -143,6 +147,12 @@ func BuildChain(as *mem.AddressSpace, length, flows int) ([]compile.Chainable, e
 	return chain, nil
 }
 
+// DefaultFlightEvents is the default flight-recorder ring capacity:
+// enough cycles of context around an anomaly (roughly the last few
+// thousand packets at ~30 events/packet) at a bounded ~3 MB of host
+// memory.
+const DefaultFlightEvents = 1 << 16
+
 // Agent is the per-host runtime agent: it registers with the director
 // and executes deployments on a local simulated core.
 type Agent struct {
@@ -152,8 +162,26 @@ type Agent struct {
 	SimConfig sim.Config
 	// OnStats, when set, observes every heartbeat this agent emits
 	// (StatsEvery deployments only), before it goes on the wire. Local
-	// exporters — the worker's expvar endpoint — hang off this hook.
+	// exporters — the worker's metrics registry — hang off this hook.
 	OnStats func(StatsReport)
+	// OnDump, when set, observes every flight dump the agent produces,
+	// with the rendered Perfetto JSON (the worker serves the newest one
+	// at /debug/flight).
+	OnDump func(info DumpInfo, trace []byte)
+	// FlightEvents sizes the always-on flight recorder attached to
+	// every deployment (0 disables it). NewAgent defaults it to
+	// DefaultFlightEvents: the black box should be on unless someone
+	// turns it off.
+	FlightEvents int
+	// DumpDir is where flight dumps land (defaults to os.TempDir()).
+	DumpDir string
+
+	// flight and prog describe the most recent deployment; owned by the
+	// Run/execute goroutine (the reader goroutine only touches the
+	// recorder's atomic request flag).
+	flight  *obs.FlightRecorder
+	prog    *model.Program
+	dumpSeq int
 }
 
 // NewAgent builds an agent with the given deployable registry.
@@ -164,11 +192,20 @@ func NewAgent(name string, reg Registry) (*Agent, error) {
 	if len(reg) == 0 {
 		return nil, fmt.Errorf("director: agent needs a registry")
 	}
-	return &Agent{name: name, reg: reg, SimConfig: sim.DefaultConfig()}, nil
+	return &Agent{
+		name:         name,
+		reg:          reg,
+		SimConfig:    sim.DefaultConfig(),
+		FlightEvents: DefaultFlightEvents,
+	}, nil
 }
 
 // Run connects to the director and serves deployments until the
-// connection closes or a shutdown arrives.
+// connection closes or a shutdown arrives. A reader goroutine drains
+// the connection so control messages (flight-dump requests) reach the
+// agent even while a deployment is executing: the reader flags the
+// recorder, and the measure loop honors the flag at the next window
+// boundary.
 func (a *Agent) Run(addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -179,24 +216,92 @@ func (a *Agent) Run(addr string) error {
 	if err := enc.Encode(Envelope{Type: TypeRegister, Agent: a.name}); err != nil {
 		return fmt.Errorf("director: agent %s: register: %w", a.name, err)
 	}
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for scanner.Scan() {
-		var env Envelope
-		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
-			continue
+
+	if a.FlightEvents > 0 {
+		// One recorder for the agent's lifetime: its request flag is the
+		// cross-goroutine mailbox, and the ring always holds the newest
+		// events of the newest deployment.
+		a.flight = obs.NewFlightRecorder(a.FlightEvents)
+	}
+
+	msgs := make(chan Envelope, 16)
+	go func() {
+		defer close(msgs)
+		scanner := bufio.NewScanner(conn)
+		scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for scanner.Scan() {
+			var env Envelope
+			if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
+				continue
+			}
+			if env.Type == TypeDump && a.flight != nil {
+				// Reaches a mid-deployment agent: the measure loop dumps
+				// at the next window boundary. The envelope is still
+				// forwarded so an idle agent handles it promptly.
+				a.flight.Request()
+			}
+			msgs <- env
 		}
+	}()
+
+	send := func(hb Envelope) error { return enc.Encode(hb) }
+	for env := range msgs {
 		switch env.Type {
 		case TypeShutdown:
 			return nil
 		case TypeDeploy:
-			reply := a.execute(env, func(hb Envelope) error { return enc.Encode(hb) })
+			reply := a.execute(env, send)
 			if err := enc.Encode(reply); err != nil {
 				return fmt.Errorf("director: agent %s: reply: %w", a.name, err)
 			}
+			// A dump requested in the deployment's last moments may not
+			// have hit a window boundary; honor it now.
+			a.maybeDump(send)
+		case TypeDump:
+			a.maybeDump(send)
 		}
 	}
 	return nil // director closed the connection
+}
+
+// maybeDump consumes a pending flight-dump request: render the ring as
+// Perfetto JSON, write it under DumpDir, notify local hooks and the
+// director. Runs only on the agent's execute goroutine (measure loop,
+// post-deployment, or idle loop), where the ring is quiescent.
+func (a *Agent) maybeDump(send func(Envelope) error) {
+	if a.flight == nil || !a.flight.TakeRequest() {
+		return
+	}
+	info := DumpInfo{Agent: a.name}
+	var trace []byte
+	if a.prog == nil {
+		info.Error = "no deployment has run; flight ring is empty"
+	} else {
+		var buf bytes.Buffer
+		if err := a.flight.DumpPerfetto(&buf, a.prog, a.SimConfig.FreqHz); err != nil {
+			info.Error = err.Error()
+		} else {
+			trace = buf.Bytes()
+			info.Events = a.flight.Len()
+			dir := a.DumpDir
+			if dir == "" {
+				dir = os.TempDir()
+			}
+			path := filepath.Join(dir, fmt.Sprintf("gunfu-flight-%s-%d.json", a.name, a.dumpSeq))
+			a.dumpSeq++
+			if err := os.WriteFile(path, trace, 0o644); err != nil {
+				info.Error = err.Error()
+			} else {
+				info.Path = path
+			}
+		}
+	}
+	if a.OnDump != nil {
+		a.OnDump(info, trace)
+	}
+	if send != nil {
+		_ = send(Envelope{Type: TypeDumpDone, Agent: a.name, Dump: &info})
+	}
 }
 
 // execute runs one deployment and builds the reply envelope. send, when
@@ -226,6 +331,25 @@ func (a *Agent) execute(env Envelope, send func(Envelope) error) Envelope {
 		return fail(err)
 	}
 
+	// Observability taps: the always-on flight recorder plus, when the
+	// spec asks for latency telemetry, a per-window rx→done probe. Build
+	// the tracer list conditionally — a typed-nil inside Multi would
+	// re-enable the traced path for nothing.
+	var probe *obs.LatencyProbe
+	var taps []sim.Tracer
+	if a.flight != nil {
+		a.flight.Reset()
+		a.prog = prog
+		taps = append(taps, a.flight)
+	}
+	if d.Latency {
+		probe = obs.NewLatencyProbe()
+		taps = append(taps, probe)
+	}
+	if tr := obs.Multi(taps...); tr != nil {
+		core.SetTracer(tr)
+	}
+
 	// Both runtimes expose the same windowed Run contract, so the
 	// chunked telemetry loop below is runtime-agnostic.
 	var run func(n uint64) (rt.Result, error)
@@ -249,8 +373,12 @@ func (a *Agent) execute(env Envelope, send func(Envelope) error) Envelope {
 		if _, err := run(d.Warmup); err != nil {
 			return fail(err)
 		}
+		if probe != nil {
+			// Warmup latencies are not part of the measured windows.
+			probe.TakeWindow()
+		}
 	}
-	res, err := a.measure(d, env.Seq, run, send)
+	res, err := a.measure(d, env.Seq, run, probe, send)
 	if err != nil {
 		return fail(err)
 	}
@@ -271,9 +399,13 @@ func (a *Agent) execute(env Envelope, send func(Envelope) error) Envelope {
 // measure runs the measured window, either in one piece or — when the
 // spec asks for telemetry — in StatsEvery-packet chunks with a
 // heartbeat after each. The returned result totals the whole window.
-func (a *Agent) measure(d DeploySpec, seq int, run func(uint64) (rt.Result, error), send func(Envelope) error) (rt.Result, error) {
+// Window boundaries are also where the agent is quiescent, so each one
+// services any pending flight-dump request.
+func (a *Agent) measure(d DeploySpec, seq int, run func(uint64) (rt.Result, error), probe *obs.LatencyProbe, send func(Envelope) error) (rt.Result, error) {
 	if d.StatsEvery == 0 {
-		return run(d.Packets)
+		res, err := run(d.Packets)
+		a.maybeDump(send)
+		return res, err
 	}
 	var total rt.Result
 	for window, remaining := 0, d.Packets; remaining > 0; window++ {
@@ -295,6 +427,9 @@ func (a *Agent) measure(d DeploySpec, seq int, run func(uint64) (rt.Result, erro
 			Packets: r.Packets, Bits: r.Bits,
 			Cycles: r.Cycles, FreqHz: r.FreqHz, Counters: r.Counters,
 		}
+		if probe != nil {
+			rep.Latency = probe.TakeWindow()
+		}
 		if a.OnStats != nil {
 			a.OnStats(rep)
 		}
@@ -303,6 +438,7 @@ func (a *Agent) measure(d DeploySpec, seq int, run func(uint64) (rt.Result, erro
 				return rt.Result{}, err
 			}
 		}
+		a.maybeDump(send)
 		if r.Packets < n {
 			break // source drained early
 		}

@@ -22,6 +22,8 @@ type Director struct {
 	arrival chan struct{}
 	// onStats receives unsolicited TypeStats heartbeats.
 	onStats func(StatsReport)
+	// onDump receives unsolicited TypeDumpDone notices.
+	onDump func(DumpInfo)
 
 	wg sync.WaitGroup
 }
@@ -32,7 +34,17 @@ type agentConn struct {
 	enc  *json.Encoder
 
 	mu      sync.Mutex // serializes requests to this agent
+	sendMu  sync.Mutex // serializes writes to enc (Deploy holds mu for the whole run)
 	pending chan Envelope
+}
+
+// send encodes one envelope to the agent under the write lock, so
+// out-of-band messages (flight-dump requests, shutdown) interleave
+// safely with an in-flight Deploy.
+func (ac *agentConn) send(env Envelope) error {
+	ac.sendMu.Lock()
+	defer ac.sendMu.Unlock()
+	return ac.enc.Encode(env)
 }
 
 // New creates a director.
@@ -117,6 +129,17 @@ func (d *Director) serveConn(conn net.Conn) {
 			}
 			continue // heartbeats never wake a Deploy waiter
 		}
+		if env.Type == TypeDumpDone {
+			if env.Dump != nil {
+				d.mu.Lock()
+				handler := d.onDump
+				d.mu.Unlock()
+				if handler != nil {
+					handler(*env.Dump)
+				}
+			}
+			continue // dump notices never wake a Deploy waiter either
+		}
 		select {
 		case ac.pending <- env:
 		default:
@@ -136,6 +159,33 @@ func (d *Director) SetStatsHandler(fn func(StatsReport)) {
 	d.mu.Lock()
 	d.onStats = fn
 	d.mu.Unlock()
+}
+
+// SetDumpHandler registers fn to receive every TypeDumpDone notice —
+// the acknowledgment (path, event count, or error) of a flight dump
+// requested with RequestFlightDump. Same contract as SetStatsHandler.
+func (d *Director) SetDumpHandler(fn func(DumpInfo)) {
+	d.mu.Lock()
+	d.onDump = fn
+	d.mu.Unlock()
+}
+
+// RequestFlightDump asks the named agent to dump its flight-recorder
+// ring. The request is out-of-band: it is safe (and intended) while a
+// deployment is running on that agent — the agent honors it at its
+// next window boundary and answers with a TypeDumpDone notice routed
+// to the SetDumpHandler callback.
+func (d *Director) RequestFlightDump(agent string) error {
+	d.mu.Lock()
+	ac, ok := d.agents[agent]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("director: unknown agent %q", agent)
+	}
+	if err := ac.send(Envelope{Type: TypeDump, Agent: agent}); err != nil {
+		return fmt.Errorf("director: dump request to %s: %w", agent, err)
+	}
+	return nil
 }
 
 // Agents returns the names of currently registered agents.
@@ -188,7 +238,7 @@ func (d *Director) Deploy(agent string, depl DeploySpec, timeout time.Duration) 
 
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
-	if err := ac.enc.Encode(Envelope{Type: TypeDeploy, Seq: seq, Deploy: &depl}); err != nil {
+	if err := ac.send(Envelope{Type: TypeDeploy, Seq: seq, Deploy: &depl}); err != nil {
 		return Result{}, fmt.Errorf("director: sending to %s: %w", agent, err)
 	}
 	timer := time.NewTimer(timeout)
@@ -249,7 +299,7 @@ func (d *Director) Close() error {
 	d.closed = true
 	for _, ac := range d.agents {
 		// Best effort shutdown notice; connection close follows.
-		_ = ac.enc.Encode(Envelope{Type: TypeShutdown})
+		_ = ac.send(Envelope{Type: TypeShutdown})
 		_ = ac.conn.Close()
 	}
 	d.mu.Unlock()

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/stats"
 )
 
 // Message types exchanged between director and agents.
@@ -34,6 +35,13 @@ const (
 	// TypeStats is an unsolicited mid-deployment telemetry heartbeat
 	// (agent → director); see DeploySpec.StatsEvery.
 	TypeStats = "stats"
+	// TypeDump asks the agent to dump its flight-recorder ring
+	// (director → agent). The agent honors it at its next safe point: a
+	// window boundary mid-deployment, immediately when idle.
+	TypeDump = "dump"
+	// TypeDumpDone reports a completed (or failed) flight dump
+	// (agent → director); like TypeStats it never answers a Deploy.
+	TypeDumpDone = "dump-done"
 )
 
 // DeploySpec describes one NF deployment: which registered NF to run
@@ -63,6 +71,10 @@ type DeploySpec struct {
 	// chunk while the deployment runs. The final TypeResult still
 	// carries the whole window's totals.
 	StatsEvery uint64 `json:"stats_every,omitempty"`
+	// Latency, when true, attaches a latency probe so every heartbeat
+	// carries the window's rx→done histogram (cycles) — the input to
+	// p99 SLO evaluation and cluster-level quantile aggregation.
+	Latency bool `json:"latency,omitempty"`
 }
 
 // Validate checks the spec's common fields.
@@ -119,6 +131,20 @@ type StatsReport struct {
 	FreqHz float64 `json:"freq_hz"`
 	// Counters is the chunk's PMU delta.
 	Counters sim.Counters `json:"counters"`
+	// Latency is the chunk's rx→done latency histogram in cycles
+	// (present when the deployment requested DeploySpec.Latency).
+	// Histograms share one fixed bucket geometry, so receivers can
+	// Merge them across windows and agents into cluster quantiles.
+	Latency *stats.Histogram `json:"latency,omitempty"`
+}
+
+// P99Cycles returns the window's p99 rx→done latency in cycles, or 0
+// when the report carries no latency histogram.
+func (s StatsReport) P99Cycles() uint64 {
+	if s.Latency == nil {
+		return 0
+	}
+	return s.Latency.Quantile(0.99)
 }
 
 // Gbps returns the chunk's throughput in gigabits per simulated second.
@@ -151,7 +177,24 @@ type Envelope struct {
 	Result *Result `json:"result,omitempty"`
 	// Stats is set for TypeStats.
 	Stats *StatsReport `json:"stats,omitempty"`
+	// Dump is set for TypeDumpDone.
+	Dump *DumpInfo `json:"dump,omitempty"`
 	// Error is set for TypeError.
+	Error string `json:"error,omitempty"`
+}
+
+// DumpInfo describes one flight-recorder dump. The trace itself stays
+// on the agent's host (it can be megabytes); the director learns where
+// it landed and how much it covers.
+type DumpInfo struct {
+	// Agent is the dumping agent's name.
+	Agent string `json:"agent"`
+	// Path is the Perfetto JSON file on the agent's host.
+	Path string `json:"path,omitempty"`
+	// Events is the number of trace events in the dump.
+	Events int `json:"events"`
+	// Error is set when the dump could not be produced (e.g. the agent
+	// runs without a flight recorder).
 	Error string `json:"error,omitempty"`
 }
 

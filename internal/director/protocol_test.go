@@ -10,7 +10,17 @@ import (
 	"time"
 
 	"github.com/gunfu-nfv/gunfu/internal/sim"
+	"github.com/gunfu-nfv/gunfu/internal/stats"
 )
+
+// latencyHist builds a histogram of the given samples.
+func latencyHist(vs ...uint64) *stats.Histogram {
+	var h stats.Histogram
+	for _, v := range vs {
+		h.Add(v)
+	}
+	return &h
+}
 
 func TestEnvelopeRoundTrip(t *testing.T) {
 	ctr := sim.Counters{Cycles: 123, Instructions: 456, L1Misses: 7, StallCycles: 89}
@@ -26,6 +36,17 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 		{Type: TypeStats, Seq: 3, Agent: "w1", Stats: &StatsReport{
 			Agent: "w1", NF: "sfc", Window: 2, Packets: 500, Bits: 2.56e5,
 			Cycles: 1e5, FreqHz: 2.7e9, Counters: ctr,
+		}},
+		{Type: TypeStats, Seq: 3, Agent: "w1", Stats: &StatsReport{
+			Agent: "w1", NF: "nat", Window: 0, Packets: 3, Bits: 1536,
+			Cycles: 900, FreqHz: 2.7e9, Latency: latencyHist(120, 340, 2200),
+		}},
+		{Type: TypeDump, Agent: "w1"},
+		{Type: TypeDumpDone, Agent: "w1", Dump: &DumpInfo{
+			Agent: "w1", Path: "/tmp/gunfu-flight-w1-0.json", Events: 65536,
+		}},
+		{Type: TypeDumpDone, Agent: "w2", Dump: &DumpInfo{
+			Agent: "w2", Error: "flight recorder disabled",
 		}},
 		{Type: TypeError, Seq: 4, Agent: "w1", Error: "unknown NF \"warp\""},
 		{Type: TypeShutdown},

@@ -1,6 +1,7 @@
 package director
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/gunfu-nfv/gunfu/internal/stats"
@@ -12,17 +13,20 @@ import (
 // refreshes. Monitor is safe for concurrent use (heartbeats arrive on
 // per-connection goroutines).
 type Monitor struct {
-	mu     sync.Mutex
-	order  []string
-	latest map[string]StatsReport
-	total  map[string]StatsReport
+	mu      sync.Mutex
+	order   []string
+	latest  map[string]StatsReport
+	total   map[string]StatsReport
+	latency map[string]*stats.Histogram
+	cluster stats.Histogram
 }
 
 // NewMonitor builds an empty monitor.
 func NewMonitor() *Monitor {
 	return &Monitor{
-		latest: make(map[string]StatsReport),
-		total:  make(map[string]StatsReport),
+		latest:  make(map[string]StatsReport),
+		total:   make(map[string]StatsReport),
+		latency: make(map[string]*stats.Histogram),
 	}
 }
 
@@ -41,6 +45,39 @@ func (m *Monitor) Observe(r StatsReport) {
 	t.Cycles += r.Cycles
 	t.Counters = t.Counters.Add(r.Counters)
 	m.total[r.Agent] = t
+	if r.Latency != nil {
+		// All histograms share one bucket geometry, so per-agent and
+		// cluster-wide views are exact merges, not approximations.
+		h := m.latency[r.Agent]
+		if h == nil {
+			h = &stats.Histogram{}
+			m.latency[r.Agent] = h
+		}
+		h.Merge(r.Latency)
+		m.cluster.Merge(r.Latency)
+	}
+}
+
+// AgentLatency returns the named agent's cumulative rx→done latency
+// histogram (cycles), or nil when the agent never reported latency.
+// The returned histogram is a copy.
+func (m *Monitor) AgentLatency(agent string) *stats.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latency[agent]
+	if h == nil {
+		return nil
+	}
+	return h.Clone()
+}
+
+// ClusterLatency returns the merge of every agent's latency windows —
+// the cluster-level distribution a fleet dashboard quotes p99 from.
+// The returned histogram is a copy.
+func (m *Monitor) ClusterLatency() *stats.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cluster.Clone()
 }
 
 // Windows returns the number of heartbeats observed in total.
@@ -52,6 +89,118 @@ func (m *Monitor) Windows() int {
 		n += r.Window + 1
 	}
 	return n
+}
+
+// SLO is a per-window service-level objective over heartbeat-derived
+// rates. Zero-valued fields are unchecked, so an SLO can watch a single
+// dimension.
+type SLO struct {
+	// MaxStallFraction is the highest tolerable fraction of window
+	// cycles spent stalled on memory (0 disables).
+	MaxStallFraction float64
+	// MinMpps is the lowest tolerable window throughput in million
+	// packets per simulated second (0 disables).
+	MinMpps float64
+	// MaxP99LatencyCycles is the highest tolerable window p99 rx→done
+	// latency in cycles; checked only when the heartbeat carries a
+	// latency histogram (0 disables).
+	MaxP99LatencyCycles uint64
+}
+
+// Check evaluates one heartbeat and returns the violated objectives as
+// human-readable reasons (empty when the window met the SLO).
+func (s SLO) Check(r StatsReport) []string {
+	var reasons []string
+	if s.MaxStallFraction > 0 {
+		if sf := r.Counters.StallFraction(); sf > s.MaxStallFraction {
+			reasons = append(reasons, fmt.Sprintf("stall fraction %.3f > %.3f", sf, s.MaxStallFraction))
+		}
+	}
+	if s.MinMpps > 0 {
+		if mpps := r.Mpps(); mpps < s.MinMpps {
+			reasons = append(reasons, fmt.Sprintf("throughput %.2f Mpps < %.2f Mpps", mpps, s.MinMpps))
+		}
+	}
+	if s.MaxP99LatencyCycles > 0 && r.Latency != nil {
+		if p99 := r.P99Cycles(); p99 > s.MaxP99LatencyCycles {
+			reasons = append(reasons, fmt.Sprintf("p99 latency %d cycles > %d cycles", p99, s.MaxP99LatencyCycles))
+		}
+	}
+	return reasons
+}
+
+// Breach describes one healthy→unhealthy transition: the window that
+// violated the SLO and why.
+type Breach struct {
+	// Agent and NF identify the offending deployment.
+	Agent string
+	NF    string
+	// Window is the violating chunk index.
+	Window int
+	// Reasons lists the violated objectives.
+	Reasons []string
+	// Report is the heartbeat that triggered the breach.
+	Report StatsReport
+}
+
+// Watcher evaluates every heartbeat against an SLO and tracks a
+// per-agent health gauge. OnBreach fires once per healthy→unhealthy
+// transition (not once per bad window) — the hook that asks the
+// offending worker for a flight dump. A healthy window re-arms the
+// agent. Safe for concurrent use.
+type Watcher struct {
+	slo SLO
+	// OnBreach, when set, runs on each healthy→unhealthy transition,
+	// on the goroutine that called Observe.
+	OnBreach func(Breach)
+
+	mu        sync.Mutex
+	unhealthy map[string]bool
+	breaches  map[string]int
+}
+
+// NewWatcher builds a watcher for the given SLO.
+func NewWatcher(slo SLO) *Watcher {
+	return &Watcher{
+		slo:       slo,
+		unhealthy: make(map[string]bool),
+		breaches:  make(map[string]int),
+	}
+}
+
+// Observe evaluates one heartbeat. Chain it after Monitor.Observe in a
+// stats handler.
+func (w *Watcher) Observe(r StatsReport) {
+	reasons := w.slo.Check(r)
+	w.mu.Lock()
+	was := w.unhealthy[r.Agent]
+	now := len(reasons) > 0
+	w.unhealthy[r.Agent] = now
+	fire := now && !was
+	if fire {
+		w.breaches[r.Agent]++
+	}
+	cb := w.OnBreach
+	w.mu.Unlock()
+	if fire && cb != nil {
+		cb(Breach{Agent: r.Agent, NF: r.NF, Window: r.Window, Reasons: reasons, Report: r})
+	}
+}
+
+// Healthy reports whether the named agent's latest observed window met
+// the SLO (true for agents never observed).
+func (w *Watcher) Healthy(agent string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.unhealthy[agent]
+}
+
+// Breaches returns how many healthy→unhealthy transitions the named
+// agent has had.
+func (w *Watcher) Breaches(agent string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.breaches[agent]
 }
 
 // Table renders one row per agent, in first-heartbeat order: the

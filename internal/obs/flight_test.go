@@ -1,0 +1,171 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/gunfu-nfv/gunfu/internal/obs"
+	"github.com/gunfu-nfv/gunfu/internal/sim"
+)
+
+func TestFlightRecorderRingOrder(t *testing.T) {
+	f := obs.NewFlightRecorder(1) // rounds up to the 64 minimum
+	if f.Cap() != 64 {
+		t.Fatalf("cap = %d", f.Cap())
+	}
+	// Underfull: everything retained, in order.
+	for i := 0; i < 10; i++ {
+		f.Event(sim.TraceEvent{Cycle: uint64(i), Kind: sim.TraceTaskSwitch})
+	}
+	if f.Len() != 10 || f.Recorded() != 10 {
+		t.Fatalf("len/recorded = %d/%d", f.Len(), f.Recorded())
+	}
+	snap := f.Snapshot()
+	for i, ev := range snap {
+		if ev.Cycle != uint64(i) {
+			t.Fatalf("event %d cycle = %d", i, ev.Cycle)
+		}
+	}
+	// Overflow: only the newest Cap events survive, oldest first.
+	for i := 10; i < 200; i++ {
+		f.Event(sim.TraceEvent{Cycle: uint64(i), Kind: sim.TraceTaskSwitch})
+	}
+	if f.Len() != 64 || f.Recorded() != 200 {
+		t.Fatalf("after wrap len/recorded = %d/%d", f.Len(), f.Recorded())
+	}
+	snap = f.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, ev := range snap {
+		if want := uint64(200 - 64 + i); ev.Cycle != want {
+			t.Fatalf("wrapped event %d cycle = %d, want %d", i, ev.Cycle, want)
+		}
+	}
+	// The census counts overwritten events too.
+	if k := f.KindCounts(); k[sim.TraceTaskSwitch] != 200 {
+		t.Fatalf("census = %d", k[sim.TraceTaskSwitch])
+	}
+	f.Reset()
+	if f.Len() != 0 || len(f.Snapshot()) != 0 {
+		t.Fatal("reset did not empty ring")
+	}
+}
+
+func TestFlightRecorderRequestFlag(t *testing.T) {
+	f := obs.NewFlightRecorder(64)
+	if f.TakeRequest() {
+		t.Fatal("fresh recorder has a pending request")
+	}
+	f.Request()
+	f.Request() // idempotent
+	if !f.TakeRequest() {
+		t.Fatal("request lost")
+	}
+	if f.TakeRequest() {
+		t.Fatal("request not consumed")
+	}
+}
+
+func TestFlightRecorderEventZeroAlloc(t *testing.T) {
+	f := obs.NewFlightRecorder(256)
+	ev := sim.TraceEvent{Cycle: 1, Kind: sim.TraceStall, Cause: sim.CauseDRAM}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1000; i++ {
+			f.Event(ev)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Event allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestFlightDumpPerfetto runs a real traced workload through a small
+// ring and checks the dump is loadable Chrome trace JSON covering only
+// the newest events — the black-box contract.
+func TestFlightDumpPerfetto(t *testing.T) {
+	prog, _, _ := buildNAT(t, 16)
+	f := obs.NewFlightRecorder(512)
+	runTraced(t, 2000, f)
+
+	if f.Recorded() <= uint64(f.Cap()) {
+		t.Fatalf("workload too small to wrap: %d events", f.Recorded())
+	}
+	var buf bytes.Buffer
+	if err := f.DumpPerfetto(&buf, prog, sim.DefaultConfig().FreqHz); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	// Metadata plus a window of real events; every timestamped record
+	// sits inside the simulated run.
+	var slices int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Fatalf("dump has no duration slices (%d events)", len(doc.TraceEvents))
+	}
+	if err := f.DumpPerfetto(&buf, nil, 1e9); err == nil {
+		t.Fatal("nil program accepted")
+	}
+}
+
+func TestLatencyProbe(t *testing.T) {
+	p := obs.NewLatencyProbe()
+	// Two packets: rx at 100/200, done at 150/400 -> latencies 50, 200.
+	p.Event(sim.TraceEvent{Kind: sim.TraceRx, A: 0x1000, Cycle: 100})
+	p.Event(sim.TraceEvent{Kind: sim.TraceRx, A: 0x2000, Cycle: 200})
+	p.Event(sim.TraceEvent{Kind: sim.TraceStreamDone, A: 0x1000, Cycle: 150})
+	p.Event(sim.TraceEvent{Kind: sim.TraceStreamDone, A: 0x2000, Cycle: 400})
+	// An unmatched done is ignored.
+	p.Event(sim.TraceEvent{Kind: sim.TraceStreamDone, A: 0x9999, Cycle: 500})
+	h := p.Histogram()
+	if h.Count() != 2 || h.Min() != 50 || h.Max() != 200 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+
+	// A packet in flight across TakeWindow keeps its rx cycle.
+	p.Event(sim.TraceEvent{Kind: sim.TraceRx, A: 0x3000, Cycle: 1000})
+	w := p.TakeWindow()
+	if w.Count() != 2 {
+		t.Fatalf("window count = %d", w.Count())
+	}
+	if p.Histogram().Count() != 0 {
+		t.Fatal("TakeWindow did not reset")
+	}
+	p.Event(sim.TraceEvent{Kind: sim.TraceStreamDone, A: 0x3000, Cycle: 1600})
+	if h := p.Histogram(); h.Count() != 1 || h.Min() != 600 {
+		t.Fatalf("carried-over latency = %d (count %d)", h.Min(), h.Count())
+	}
+}
+
+// TestLatencyProbeMatchesCollector pins the probe against Collector's
+// latency histogram on a real run: same events, same distribution.
+func TestLatencyProbeMatchesCollector(t *testing.T) {
+	prog, _, _ := buildNAT(t, 64)
+	col := obs.NewCollector(prog, sim.DefaultConfig().FreqHz)
+	probe := obs.NewLatencyProbe()
+	res := runTraced(t, 1500, col, probe)
+
+	ph, ch := probe.Histogram(), col.Latency()
+	if ph.Count() != res.Packets || ph.Count() != ch.Count() {
+		t.Fatalf("probe %d, collector %d, packets %d", ph.Count(), ch.Count(), res.Packets)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if ph.Quantile(q) != ch.Quantile(q) {
+			t.Fatalf("q=%v: probe %d, collector %d", q, ph.Quantile(q), ch.Quantile(q))
+		}
+	}
+}

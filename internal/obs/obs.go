@@ -1,8 +1,9 @@
 // Package obs is GuNFu's observability layer: consumers for the
 // cycle-timestamped trace events the simulated core, the model and the
-// runtimes emit through sim.Tracer (see internal/sim/trace.go).
+// runtimes emit through sim.Tracer (see internal/sim/trace.go), plus
+// the serving-side metrics plane.
 //
-// The package provides three tracers:
+// The package provides five tracers:
 //
 //   - Collector aggregates per-NFAction and per-NFState attribution
 //     (stall cycles, misses, prefetch efficacy) plus a log-bucketed
@@ -14,7 +15,18 @@
 //     or chrome://tracing: one track per interleaved NFTask slot with
 //     action executions and stalls as nested slices, plus a prefetch
 //     track with in-flight fills.
+//   - FlightRecorder is the always-on production variant: a fixed-size
+//     overwrite-oldest ring of the newest events, allocation-free in
+//     steady state, dumpable as a Perfetto trace on demand (the "black
+//     box" that explains an anomaly after the fact).
+//   - LatencyProbe tracks only the rx→done latency distribution, cheap
+//     enough to leave attached on serving deployments so telemetry
+//     heartbeats can carry latency quantiles.
 //   - Multi fans one event stream out to several tracers.
+//
+// Registry is the serving surface: a stdlib-only OpenMetrics text
+// exposition registry (metrics.go) bridging PMU-derived rates,
+// latency quantiles and Go runtime gauges to HTTP scrapers.
 //
 // Everything here is observation-only: a tracer never calls back into
 // the simulation, so attaching one is counter-neutral by construction

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/gunfu-nfv/gunfu/internal/mem"
+	"github.com/gunfu-nfv/gunfu/internal/obs"
 	"github.com/gunfu-nfv/gunfu/internal/rt"
 	"github.com/gunfu-nfv/gunfu/internal/rtc"
 	"github.com/gunfu-nfv/gunfu/internal/sim"
@@ -131,5 +132,69 @@ func BenchmarkRTCSteadyState(b *testing.B) {
 	}
 	if res.Packets != uint64(b.N) {
 		b.Fatalf("processed %d packets, want %d", res.Packets, b.N)
+	}
+}
+
+// BenchmarkWorkerSteadyStateFlight is BenchmarkWorkerSteadyState with
+// the production flight recorder attached: the delta against the
+// untraced benchmark is the full cost of always-on black-box recording
+// (event construction, dispatch, and the ring store). It must stay at
+// 0 allocs/op — the ring is sized once and overwrites in place.
+func BenchmarkWorkerSteadyStateFlight(b *testing.B) {
+	prog, g := buildNAT(b, 1<<13)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	w, err := rt.NewWorker(core, as, prog, rt.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Run(g, 4096); err != nil { // warm caches and pools
+		b.Fatal(err)
+	}
+	f := obs.NewFlightRecorder(1 << 16)
+	core.SetTracer(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := w.Run(g, uint64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if res.Packets != uint64(b.N) {
+		b.Fatalf("processed %d packets, want %d", res.Packets, b.N)
+	}
+	if f.Recorded() == 0 {
+		b.Fatal("flight recorder attached but saw no events")
+	}
+	b.ReportMetric(float64(f.Recorded())/float64(b.N), "events/pkt")
+}
+
+// TestFlightSteadyStateZeroAlloc pins the flight-recorder hot path: a
+// steady-state window with the ring attached must not allocate.
+func TestFlightSteadyStateZeroAlloc(t *testing.T) {
+	prog, g := buildNAT(t, 1<<10)
+	core, err := sim.NewCore(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	w, err := rt.NewWorker(core, as, prog, rt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(g, 4096); err != nil { // warm caches and pools
+		t.Fatal(err)
+	}
+	core.SetTracer(obs.NewFlightRecorder(1 << 12))
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := w.Run(g, 256); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("flight-recorded steady state allocates %.1f/run, want 0", allocs)
 	}
 }

@@ -63,6 +63,10 @@ const (
 	TraceStreamDone
 )
 
+// TraceKindCount is the number of TraceKind values, for fixed-size
+// per-kind tables (the flight recorder's event census, exporters).
+const TraceKindCount = int(TraceStreamDone) + 1
+
 // String names the kind for diagnostics and exporters.
 func (k TraceKind) String() string {
 	switch k {
@@ -114,6 +118,10 @@ const (
 	// CauseFixed is a fixed overhead charged via Core.Stall.
 	CauseFixed
 )
+
+// StallCauseCount is the number of StallCause values, for fixed-size
+// per-cause tables.
+const StallCauseCount = int(CauseFixed) + 1
 
 // String names the cause for diagnostics and exporters.
 func (c StallCause) String() string {

@@ -1,6 +1,10 @@
 package stats
 
-import "math/bits"
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
 
 // histSubBits sets the histogram resolution: each power-of-two octave
 // is split into 2^histSubBits linear sub-buckets, bounding the relative
@@ -89,6 +93,73 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	h.total += o.total
 	h.sum += o.sum
+}
+
+// Reset empties the histogram, keeping the grown bucket array so a
+// windowed recorder does not reallocate every window.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// Clone returns an independent copy of h: mutating either histogram
+// afterwards leaves the other untouched. Aggregators hand out clones so
+// a caller can keep quantile state past the aggregator's lock.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
+// histogramWire is the JSON form of a Histogram. Counts carries the
+// bucket array with trailing zeros trimmed; the geometry is fixed by
+// histSubBits, so the counts alone reconstruct the distribution.
+type histogramWire struct {
+	SubBits int      `json:"sub_bits"`
+	Counts  []uint64 `json:"counts"`
+	Total   uint64   `json:"total"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+}
+
+// MarshalJSON encodes the histogram for the wire (telemetry heartbeats
+// carry per-window latency histograms so the receiver can Merge them
+// into cluster-level quantiles).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	counts := h.counts
+	for len(counts) > 0 && counts[len(counts)-1] == 0 {
+		counts = counts[:len(counts)-1]
+	}
+	return json.Marshal(histogramWire{
+		SubBits: histSubBits,
+		Counts:  counts,
+		Total:   h.total,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+	})
+}
+
+// UnmarshalJSON decodes a histogram produced by MarshalJSON. It rejects
+// payloads from a build with a different bucket geometry: bucket counts
+// are only mergeable when both sides split octaves identically.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.SubBits != histSubBits {
+		return fmt.Errorf("stats: histogram sub_bits %d incompatible with %d", w.SubBits, histSubBits)
+	}
+	h.counts = append(h.counts[:0], w.Counts...)
+	h.total = w.Total
+	h.sum = w.Sum
+	h.min = w.Min
+	h.max = w.Max
+	return nil
 }
 
 // Count returns the number of recorded samples.

@@ -90,6 +90,114 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeOfSplitsProperty is the aggregation property the
+// director's cluster-level quantiles rest on: scattering a sample
+// stream across k histograms and merging them back must reproduce the
+// whole-stream histogram exactly (same buckets, same quantiles), for
+// random streams and random splits.
+func TestHistogramMergeOfSplitsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(6)
+		parts := make([]Histogram, k)
+		var whole Histogram
+		n := 100 + rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			v := uint64(rng.Int63n(1 << uint(1+rng.Intn(40))))
+			whole.Add(v)
+			parts[rng.Intn(k)].Add(v)
+		}
+		var merged Histogram
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() ||
+			merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("trial %d: merged count/sum/min/max = %d/%d/%d/%d, whole %d/%d/%d/%d",
+				trial, merged.Count(), merged.Sum(), merged.Min(), merged.Max(),
+				whole.Count(), whole.Sum(), whole.Min(), whole.Max())
+		}
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+				t.Fatalf("trial %d q=%.2f: merged %d, whole %d", trial, q, m, w)
+			}
+		}
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Add(uint64(rng.Int63n(1 << uint(2+rng.Intn(30)))))
+	}
+	b, err := h.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Sum() != h.Sum() ||
+		back.Min() != h.Min() || back.Max() != h.Max() {
+		t.Fatalf("round trip count/sum/min/max = %d/%d/%d/%d, want %d/%d/%d/%d",
+			back.Count(), back.Sum(), back.Min(), back.Max(),
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("q=%v: %d vs %d", q, back.Quantile(q), h.Quantile(q))
+		}
+	}
+	// A decoded histogram must keep merging like a native one.
+	var merged Histogram
+	merged.Merge(&back)
+	merged.Merge(&back)
+	if merged.Count() != 2*h.Count() {
+		t.Fatalf("merge after decode count = %d", merged.Count())
+	}
+	// Geometry mismatches are rejected, not silently mis-merged.
+	if err := back.UnmarshalJSON([]byte(`{"sub_bits":4,"counts":[1]}`)); err == nil {
+		t.Fatal("incompatible sub_bits accepted")
+	}
+	// Empty round trip.
+	var empty, emptyBack Histogram
+	b, err = empty.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emptyBack.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if emptyBack.Count() != 0 {
+		t.Fatalf("empty round trip count = %d", emptyBack.Count())
+	}
+}
+
+func TestHistogramCloneAndReset(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v < 1000; v *= 2 {
+		h.Add(v)
+	}
+	c := h.Clone()
+	h.Add(1 << 30)
+	if c.Count() != 10 || c.Max() == h.Max() {
+		t.Fatalf("clone shares state: count %d max %d vs %d", c.Count(), c.Max(), h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset histogram must report zeros")
+	}
+	h.Add(7)
+	if h.Count() != 1 || h.Min() != 7 || h.Max() != 7 {
+		t.Fatalf("post-reset add: count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	if c.Count() != 10 {
+		t.Fatal("reset leaked into clone")
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
 	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
