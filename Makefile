@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench-smoke bench-compile bench-paired profile quick trace-demo metrics-demo
+.PHONY: build test verify lint bench-smoke bench-compile bench-paired profile quick trace-demo metrics-demo
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,17 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# lint runs go vet always, and staticcheck when it is on PATH (CI
+# installs a pinned version; local environments without it still get
+# the vet pass instead of a hard failure).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it pinned)"; \
+	fi
 
 # bench-smoke runs one short iteration of every hot-path benchmark —
 # enough to catch a benchmark that no longer compiles or allocates,

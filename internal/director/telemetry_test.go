@@ -193,7 +193,7 @@ func TestMetricsBridge(t *testing.T) {
 		"gunfu_task_switches_total 900\n",
 		`gunfu_pmu_total{counter="l1_hits"} 6500` + "\n",
 		`gunfu_pmu_total{counter="instructions"} 2500000` + "\n",
-		`gunfu_window{rate="ipc"} 2` + "\n",          // last window only
+		`gunfu_window{rate="ipc"} 2` + "\n", // last window only
 		`gunfu_window{rate="stall_fraction"} 0.2` + "\n",
 		`gunfu_window{rate="mpps"} 1` + "\n",
 		`gunfu_deployment_info{nf="nat"} 1` + "\n",

@@ -177,12 +177,23 @@ type diffSide struct {
 // core's lookups through the dense tag scans instead of the residency
 // directory (the verification twin).
 func replay(t *testing.T, w *diffWorld, s diffSide, packets int, scan bool) diffResult {
+	return replayConfigured(t, w, s, packets, scan, nil)
+}
+
+// replayConfigured is replay with a core-configuration hook applied
+// before the first packet — the twin tests use it to force-disable the
+// wakeup stamps and directory memo, or to park the eviction epoch at
+// the edge of wraparound.
+func replayConfigured(t *testing.T, w *diffWorld, s diffSide, packets int, scan bool, configure func(*sim.Core)) diffResult {
 	t.Helper()
 	core, err := sim.NewCore(sim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	core.SetScanLookups(scan)
+	if configure != nil {
+		configure(core)
+	}
 	var res diffResult
 	core.SetAccessLog(func(a sim.MemAccess) { res.log = append(res.log, a) })
 	p := &pkt.Packet{Addr: w.pktAddr, Data: make([]byte, 128)}
@@ -308,5 +319,51 @@ func TestDifferentialReplayScanTwin(t *testing.T) {
 		want := replay(t, w, interpreted, packets, false)
 		diffCompare(t, n, "interpreted/scan", replay(t, w, interpreted, packets, true), want)
 		diffCompare(t, n, "compiled/scan", replay(t, w, compiled, packets, true), want)
+	}
+}
+
+// TestDifferentialReplayWakeupTwin replays randomized programs with the
+// fill-clock wakeup stamps and the directory probe memo force-disabled
+// (the core falls back to the pre-stamp FirstNonResident/IssueFetch
+// pair and raw directory walks) and requires results bit-identical to
+// the default path. The stamps, the planned-issue verdict reuse and
+// the memo are host-side accelerations only; they must never change a
+// charged access, a counter, or the clock.
+func TestDifferentialReplayWakeupTwin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	disable := func(c *sim.Core) {
+		c.SetWakeupStamps(false)
+		c.SetDirMemo(false)
+	}
+	for n := 0; n < diffPrograms/2; n++ {
+		w := buildRandomProgram(t, rng)
+		packets := 2 + rng.Intn(3)
+		compiled, interpreted := sides(w)
+		want := replay(t, w, interpreted, packets, false)
+		diffCompare(t, n, "compiled/wakeup-on", replay(t, w, compiled, packets, false), want)
+		diffCompare(t, n, "compiled/wakeup-off",
+			replayConfigured(t, w, compiled, packets, false, disable), want)
+		// Memo alone off, stamps on: the knobs must be independent.
+		diffCompare(t, n, "compiled/memo-off",
+			replayConfigured(t, w, compiled, packets, false, func(c *sim.Core) { c.SetDirMemo(false) }), want)
+	}
+}
+
+// TestDifferentialReplayEpochWrap parks the eviction epoch at the edge
+// of uint64 wraparound before replaying, so it wraps through zero
+// mid-run. The epoch is a host-side validity horizon for wakeup stamps
+// (and the tombstone provenance stamp); wrapping must not change any
+// simulated event — and the wrapped run must still match a run whose
+// epoch started at zero.
+func TestDifferentialReplayEpochWrap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nearWrap := func(c *sim.Core) { c.SetEvictionEpoch(^uint64(0) - 3) }
+	for n := 0; n < diffPrograms/4; n++ {
+		w := buildRandomProgram(t, rng)
+		packets := 2 + rng.Intn(3)
+		compiled, interpreted := sides(w)
+		want := replay(t, w, interpreted, packets, false)
+		got := replayConfigured(t, w, compiled, packets, false, nearWrap)
+		diffCompare(t, n, "compiled/epoch-wrap", got, want)
 	}
 }

@@ -69,6 +69,19 @@ type Exec struct {
 	// when the current CS's spans have been prefetched or verified
 	// resident.
 	Prefetched bool
+	// WakeAt is the fill-clock wakeup stamp EnsurePrefetched records
+	// when it issues fetches: the max MSHR ready-cycle of the issued
+	// lines. While Core.Now() < WakeAt and WakeEpoch still equals the
+	// core's eviction epoch, the task's plan lines cannot have become
+	// resident-and-then-evicted, so a scheduler revisit may skip the
+	// residency walk without changing any simulated event (the
+	// authoritative PlanResidency pass before Step re-proves it). Zero
+	// when no fill is outstanding or stamps are disabled.
+	WakeAt uint64
+	// WakeEpoch is the core's eviction epoch at stamp time — the
+	// stamp's validity horizon: any L1 or outer eviction moves the
+	// epoch and voids WakeAt.
+	WakeEpoch uint64
 	// Done reports stream completion (CS reached End).
 	Done bool
 	// bases is the compiled executors' base-table scratch (see
@@ -91,5 +104,7 @@ func (e *Exec) ResetStream(p *pkt.Packet, start CSID, seq uint64) {
 	e.CS = start
 	e.Seq = seq
 	e.Prefetched = false
+	e.WakeAt = 0
+	e.WakeEpoch = 0
 	e.Done = false
 }

@@ -395,7 +395,7 @@ func (p *Program) EnsurePrefetched(e *Exec) bool {
 	if m&(1<<pbDynamic) != 0 {
 		bases[pbDynamic] = e.Cur.Addr
 	}
-	miss := core.FirstNonResident(bases, pl.fetch)
+	miss, resident := core.PlanResidency(bases, pl.fetch)
 	if miss < 0 {
 		return true
 	}
@@ -403,10 +403,17 @@ func (p *Program) EnsurePrefetched(e *Exec) bool {
 		// Stamp prefetch events with the CS they are fetching for.
 		core.SetCS(int32(e.CS))
 	}
-	// The issue reuses what the check just proved (see IssueFetch): ops
-	// before miss are still resident, op miss is still absent, and the
-	// charged sequence is identical to issuing the whole plan blind.
-	core.IssueFetch(bases, pl.fetch, miss)
+	// The issue reuses what the check just proved (see IssueFetchPlanned):
+	// ops before miss are still resident, op miss is still absent, and
+	// the recorded verdict mask answers every later op that no install
+	// or eviction of this very issue has dirtied — the charged sequence
+	// is identical to issuing the whole plan blind. The returned max
+	// ready-cycle plus the core's eviction epoch form the task's wakeup
+	// stamp: until the fill clock passes WakeAt with the epoch unmoved,
+	// a scheduler revisit could skip the residency walk outright (one
+	// authoritative PlanResidency pass still confirms before Step).
+	e.WakeAt = core.IssueFetchPlanned(bases, pl.fetch, miss, resident)
+	e.WakeEpoch = core.EvictionEpoch()
 	return false
 }
 

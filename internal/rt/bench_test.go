@@ -1,6 +1,7 @@
 package rt_test
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/gunfu-nfv/gunfu/internal/mem"
@@ -105,6 +106,49 @@ func TestTracerDisabledZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("untraced steady state allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineMultiCore measures host-side scaling of the
+// share-nothing engine: N goroutines each driving an independent
+// simulated core over its own 4K-flow NAT, cores drawn from the
+// engine's pool (the first iteration builds them, the rest recycle).
+// Reported ns/op is per aggregate packet, so perfect host scaling
+// keeps it flat as cores grow; the recorded ratios land in
+// BENCH_hotpath.json.
+func BenchmarkEngineMultiCore(b *testing.B) {
+	for _, cores := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			setups := make([]rt.CoreSetup, cores)
+			for i := range setups {
+				setups[i] = natSetup(1<<12, int64(11+i))
+			}
+			eng, err := rt.NewEngine(sim.DefaultConfig(), setups)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(4096); err != nil { // build + warm the pooled cores
+				b.Fatal(err)
+			}
+			per := uint64(b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			results, err := eng.Run(per)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			var total uint64
+			for _, r := range results {
+				total += r.Packets
+			}
+			if total != per*uint64(cores) {
+				b.Fatalf("processed %d packets, want %d", total, per*uint64(cores))
+			}
+			// Normalize to aggregate packets: flat ns/op across core
+			// counts == linear host scaling.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/pkt")
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,9 +24,16 @@ type CoreSetup struct {
 // goroutines. Cores share nothing — each has its own cache hierarchy,
 // pools and match structures — so scaling is linear by construction,
 // matching the paper's multi-core results (Figs 14, 15).
+//
+// Simulated cores are drawn from a sim.CorePool owned by the engine:
+// repeated Run calls recycle generation-reset cores instead of
+// allocating and faulting the megabyte-scale cache arrays per call
+// (the reset-vs-fresh differential test guarantees a pooled core is
+// observationally indistinguishable from a new one).
 type Engine struct {
 	simCfg sim.Config
 	setups []CoreSetup
+	pool   *sim.CorePool
 }
 
 // NewEngine builds an engine over the given per-core setups.
@@ -33,11 +41,13 @@ func NewEngine(simCfg sim.Config, setups []CoreSetup) (*Engine, error) {
 	if len(setups) == 0 {
 		return nil, fmt.Errorf("rt: engine needs at least one core")
 	}
-	return &Engine{simCfg: simCfg, setups: setups}, nil
+	return &Engine{simCfg: simCfg, setups: setups, pool: sim.NewCorePool(simCfg)}, nil
 }
 
 // Run executes all cores, each processing up to perCorePackets, and
-// returns per-core results in core order.
+// returns per-core results in core order. Every per-core failure is
+// reported (joined with errors.Join, each wrapped with its core index)
+// — a multi-core failure is never masked by the first core's error.
 func (e *Engine) Run(perCorePackets uint64) ([]Result, error) {
 	results := make([]Result, len(e.setups))
 	errs := make([]error, len(e.setups))
@@ -46,11 +56,12 @@ func (e *Engine) Run(perCorePackets uint64) ([]Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			core, err := sim.NewCore(e.simCfg)
+			core, err := e.pool.Get()
 			if err != nil {
 				errs[i] = err
 				return
 			}
+			defer e.pool.Put(core)
 			w, src, err := e.setups[i].NewWorker(core)
 			if err != nil {
 				errs[i] = err
@@ -62,10 +73,19 @@ func (e *Engine) Run(perCorePackets uint64) ([]Result, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("rt: core %d: %w", i, err)
+			errs[i] = fmt.Errorf("rt: core %d: %w", i, err)
 		}
 	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
 	return results, nil
+}
+
+// PoolStats reports how many simulated cores the engine's pool built
+// versus recycled across Run calls; tests assert the pool pools.
+func (e *Engine) PoolStats() (news, reuses int64) {
+	return e.pool.Stats()
 }
 
 // Aggregate combines per-core results into a fleet view. Since cores

@@ -1,6 +1,7 @@
 package rt_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -296,16 +297,132 @@ func TestEngineWorkerError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Run(10); err == nil {
+	_, err = eng.Run(10)
+	if err == nil {
 		t.Fatal("worker construction error not surfaced")
+	}
+	if !errors.Is(err, errFake) {
+		t.Fatalf("error %q lost the cause", err)
+	}
+	if !strings.Contains(err.Error(), "core 0") {
+		t.Fatalf("error %q does not name the failing core", err)
 	}
 }
 
-var errFake = &fakeError{}
+// TestEngineJoinsAllCoreErrors pins the errors.Join contract: when
+// several cores fail, every failure is reported with its core index —
+// none is masked by the first.
+func TestEngineJoinsAllCoreErrors(t *testing.T) {
+	okSetup := natSetup(64, 5)
+	fail := func(e error) rt.CoreSetup {
+		return rt.CoreSetup{NewWorker: func(core *sim.Core) (*rt.Worker, rt.Source, error) {
+			return nil, nil, e
+		}}
+	}
+	eng, err := rt.NewEngine(sim.DefaultConfig(), []rt.CoreSetup{
+		fail(errFake), okSetup, fail(errFake2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(10)
+	if err == nil {
+		t.Fatal("multi-core failure not surfaced")
+	}
+	if !errors.Is(err, errFake) || !errors.Is(err, errFake2) {
+		t.Fatalf("joined error %q lost a cause", err)
+	}
+	for _, want := range []string{"core 0", "core 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error %q does not name %q", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "core 1") {
+		t.Fatalf("joined error %q blames the healthy core", err)
+	}
+}
+
+// TestEngineReusesPooledCores pins the engine's core pool: a second Run
+// must recycle the first Run's generation-reset cores instead of
+// rebuilding the megabyte-scale cache arrays, and the recycled cores
+// must produce identical simulated results.
+func TestEngineReusesPooledCores(t *testing.T) {
+	setups := []rt.CoreSetup{natSetup(256, 7), natSetup(256, 7)}
+	eng, err := rt.NewEngine(sim.DefaultConfig(), setups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := eng.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	news, reuses := eng.PoolStats()
+	// Four Gets total; at most one fresh build per concurrent goroutine
+	// (a goroutine that finishes before its sibling starts legitimately
+	// hands its reset core straight over, even within one Run).
+	if news+reuses != 4 {
+		t.Fatalf("pool served %d+%d gets, want 4", news, reuses)
+	}
+	if news > 2 {
+		t.Fatalf("built %d cores for a 2-core engine", news)
+	}
+	if reuses < 2 {
+		t.Fatalf("recycled only %d cores across two runs", reuses)
+	}
+	// Same program, same source seed, reset core: the reset-vs-fresh
+	// guarantee means the second run replays the first bit-identically.
+	for i := range r1 {
+		if r1[i].Cycles != r2[i].Cycles || r1[i].Counters != r2[i].Counters {
+			t.Fatalf("core %d: pooled rerun diverged: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
+// natSetup builds an engine CoreSetup running a self-contained NAT over
+// `flows` flows with the given traffic seed.
+func natSetup(flows int, seed int64) rt.CoreSetup {
+	return rt.CoreSetup{
+		NewWorker: func(core *sim.Core) (*rt.Worker, rt.Source, error) {
+			as := mem.NewAddressSpace()
+			n, err := nat.New(as, nat.Config{MaxFlows: flows})
+			if err != nil {
+				return nil, nil, err
+			}
+			g, err := traffic.NewFlowGen(traffic.FlowGenConfig{Flows: flows, PacketBytes: 64, Seed: seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			for f := 0; f < flows; f++ {
+				if err := n.AddFlow(g.FlowTuple(f), int32(f)); err != nil {
+					return nil, nil, err
+				}
+			}
+			prog, err := n.Program()
+			if err != nil {
+				return nil, nil, err
+			}
+			w, err := rt.NewWorker(core, as, prog, rt.DefaultConfig())
+			return w, g, err
+		},
+	}
+}
+
+var (
+	errFake  = &fakeError{}
+	errFake2 = &fakeError2{}
+)
 
 type fakeError struct{}
 
 func (*fakeError) Error() string { return "fake" }
+
+type fakeError2 struct{}
+
+func (*fakeError2) Error() string { return "fake2" }
 
 func TestAggregateEmpty(t *testing.T) {
 	agg := rt.Aggregate(nil)

@@ -290,7 +290,15 @@ func (w *Worker) Run(src Source, maxPackets uint64) (Result, error) {
 					// Fused P-state visit: one base resolution covers both
 					// the residency probe and (on a miss) the prefetch
 					// issue. The simulated sequence is identical to
-					// ResidentCurrent followed by PrefetchCurrent.
+					// ResidentCurrent followed by PrefetchCurrent. On a
+					// miss EnsurePrefetched also records the fill-clock
+					// wakeup stamp (Exec.WakeAt/WakeEpoch): the core's max
+					// MSHR ready-cycle and the eviction epoch it was
+					// stamped under, so any scheduler that revisits a
+					// pending task can skip the tiered residency walk
+					// until the fills have landed or the epoch moved.
+					// This loop never revisits (Prefetched is set
+					// unconditionally), so here the stamp is diagnostic.
 					if !w.prog.EnsurePrefetched(t) {
 						w.core.TaskSwitch()
 						prev = cur

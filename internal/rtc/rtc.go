@@ -9,7 +9,10 @@
 // for the full fill latency, with no other stream's work to overlap it.
 // The only difference from internal/rt is scheduling, which is what
 // makes the head-to-head numbers in the evaluation attributable to the
-// execution model alone.
+// execution model alone. Host-side accelerations in the shared
+// machinery — the compiled step plans, the directory probe memo, the
+// span fast paths — apply to both workers identically, so they speed
+// the comparison up without tilting it.
 package rtc
 
 import (

@@ -73,6 +73,12 @@ type cache struct {
 	// because inserts reuse them as free, so a live cluster never spans
 	// a stale slot.
 	kv []uint64
+	// pos[slot] is the pair index of the map entry naming slot, exact
+	// whenever tags[slot] is valid (insExact and the deletion shifts
+	// keep it current; after resetExact it is garbage, but so are the
+	// tags that would consult it). It lets a fill delete its victim's
+	// entry with no find probe at all.
+	pos []uint32
 	// mapMask wraps pair indexes: number of pairs minus one.
 	mapMask uint64
 	// mapShift maps a Fibonacci-hashed line's top bits onto pair indexes.
@@ -117,6 +123,7 @@ func newExactCache(cfg CacheConfig) *cache {
 		shift--
 	}
 	c.kv = make([]uint64, 2*size)
+	c.pos = make([]uint32, len(c.tags))
 	c.mapMask = uint64(size - 1)
 	c.mapShift = shift
 	return c
@@ -202,31 +209,20 @@ func (c *cache) insExact(line uint64, slot int) {
 		if k&1 == 0 || k>>l1GenShift != c.gen {
 			c.kv[2*i] = c.genw + (line<<1 | 1)
 			c.kv[2*i+1] = uint64(slot)
+			c.pos[slot] = uint32(i)
 			return
 		}
 		i = (i + 1) & c.mapMask
 	}
 }
 
-// delExact removes line from the exact map by backward-shift deletion:
-// live entries after the hole that hash at or before it move back, so
-// probes need no tombstones. A displaced entry's home position comes
-// from the line embedded in its own key — the map is self-describing,
-// no tag array is read. Deleting an absent line is a no-op (never
-// happens from cache maintenance; tolerated for robustness).
-func (c *cache) delExact(line uint64) {
-	key := c.genw + (line<<1 | 1)
-	i := (line * fibMul) >> c.mapShift
-	for {
-		k := c.kv[2*i]
-		if k == key {
-			break
-		}
-		if k&1 == 0 || k>>l1GenShift != c.gen {
-			return
-		}
-		i = (i + 1) & c.mapMask
-	}
+// delExactAt removes the map entry at pair index i (located by the
+// caller through pos — no find probe) by backward-shift deletion: live
+// entries after the hole that hash at or before it move back, so probes
+// need no tombstones. A displaced entry's home position comes from the
+// line embedded in its own key — the map is self-describing, no tag
+// array is read — and its slot's pos follows it.
+func (c *cache) delExactAt(i uint64) {
 	j := i
 	for {
 		j = (j + 1) & c.mapMask
@@ -240,7 +236,9 @@ func (c *cache) delExact(line uint64) {
 		h := (((k - c.genw) >> 1) * fibMul) >> c.mapShift
 		if (j-h)&c.mapMask >= (j-i)&c.mapMask {
 			c.kv[2*i] = k
-			c.kv[2*i+1] = c.kv[2*j+1]
+			s := c.kv[2*j+1]
+			c.kv[2*i+1] = s
+			c.pos[s] = uint32(i)
 			i = j
 		}
 	}
@@ -399,7 +397,7 @@ func (c *cache) fillExact(slot int, line, now, readyAt uint64) {
 		panic("sim: line address too large for the exact L1 index")
 	}
 	if c.tags[slot] != 0 {
-		c.delExact(c.lineOf(slot))
+		c.delExactAt(uint64(c.pos[slot]))
 	}
 	c.tags[slot] = c.tagOf(line)
 	c.stamps[slot] = now

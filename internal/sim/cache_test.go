@@ -147,12 +147,17 @@ func verifyDirectoryTwin(t *testing.T, op int, dir *residencyDir, l1 *cache, out
 	if n := dir.entries(); n != len(distinct) || n != dir.live {
 		t.Fatalf("op %d: %d directory entries (live count %d) for %d distinct outer-resident lines", op, n, dir.live, len(distinct))
 	}
+	tombs := 0
 	for i, e := range dir.tab {
 		if e == 0 {
 			continue
 		}
 		if e&dirFieldsMask == 0 {
-			t.Fatalf("op %d: directory entry at %d has no slot fields", op, i)
+			if e&dirTombMark == 0 {
+				t.Fatalf("op %d: directory entry at %d has no slot fields and no tombstone mark", op, i)
+			}
+			tombs++
+			continue
 		}
 		line := dir.lineAt(uint64(i))
 		if e>>dirRemShift != line&dirRemMask {
@@ -167,6 +172,12 @@ func verifyDirectoryTwin(t *testing.T, op int, dir *residencyDir, l1 *cache, out
 				t.Fatalf("op %d: directory maps line %d to outer level %d slot %d, which holds tag %#x", op, line, li, s, lvl.tags[s])
 			}
 		}
+	}
+	if tombs != dir.tombs {
+		t.Fatalf("op %d: %d tombstones in the table, tomb count says %d", op, tombs, dir.tombs)
+	}
+	if dir.tombs > dir.tombMax {
+		t.Fatalf("op %d: %d tombstones exceed the budget %d", op, dir.tombs, dir.tombMax)
 	}
 }
 

@@ -49,6 +49,29 @@ type Core struct {
 	// parallel sweep workers never share the written cache line.
 	warmSink uint64
 
+	// Wakeup-stamp machinery (host-side only; see planops.go). evictEpoch
+	// advances whenever a resident line is displaced — L1 evictions here,
+	// outer-level evictions through the directory's tombstone writes — and
+	// is the validity horizon recorded next to every fill-clock wakeup
+	// stamp (model.Exec.WakeAt/WakeEpoch): any consumer of a residency
+	// verdict taken at epoch E may reuse it only while the epoch still
+	// reads E. wakeup gates the whole machinery (SetWakeupStamps); the
+	// differential wakeup twin runs with it off and must match bit for
+	// bit. planTrack/planDirty/planDirtyN are the exact refinement of the
+	// epoch guard inside one planned issue: while planTrack is set, every
+	// line installed into or evicted from L1 is appended to planDirty, so
+	// IssueFetchPlanned can reuse the residency walk's verdicts for
+	// untouched lines and re-probe only lines the issue itself moved.
+	// planDirtyN == -1 means the list overflowed and every verdict is
+	// re-proved. planMaxReady accumulates the max fill-complete cycle of
+	// the MSHRs the tracked issue occupied — the wakeup stamp itself.
+	evictEpoch   uint64
+	wakeup       bool
+	planTrack    bool
+	planDirtyN   int
+	planMaxReady uint64
+	planDirty    [48]uint64
+
 	// trc, when non-nil, receives cycle-timestamped trace events;
 	// curTask and curCS are the attribution stamps (see trace.go).
 	// Every emission site is guarded by a nil check so the disabled
@@ -92,8 +115,10 @@ func NewCore(cfg Config) (*Core, error) {
 		switchCost:  cfg.SwitchCost,
 		curTask:     -1,
 		curCS:       -1,
+		wakeup:      true,
 	}
 	dir.attach(c.l2, c.llc)
+	dir.epoch = &c.evictEpoch
 	for i := range c.mshrFree {
 		c.mshrFree[i] = int32(i)
 	}
@@ -131,6 +156,35 @@ func (c *Core) Counters() Counters {
 // twin exists for differential verification; leave it off outside tests.
 func (c *Core) SetScanLookups(on bool) { c.scan = on }
 
+// SetWakeupStamps toggles the fill-clock wakeup machinery (on by
+// default): the planned prefetch issue that reuses the residency walk's
+// verdicts (PlanResidency/IssueFetchPlanned) and the wakeup stamps it
+// returns. Purely a host-cost strategy — residency probes charge
+// nothing, so both settings produce bit-identical simulated results;
+// the differential wakeup twin holds them to that. Scan mode bypasses
+// the machinery regardless.
+func (c *Core) SetWakeupStamps(on bool) { c.wakeup = on }
+
+// WakeupStamps reports whether the fill-clock wakeup machinery is on.
+func (c *Core) WakeupStamps() bool { return c.wakeup }
+
+// SetDirMemo toggles the residency directory's probe memo (on by
+// default): a small exact cache of recent directory verdicts,
+// invalidated in place at every directory mutation. Host-cost only;
+// the differential twins run with it off and must match bit for bit.
+func (c *Core) SetDirMemo(on bool) { c.dir.setMemo(on) }
+
+// EvictionEpoch returns the core's eviction epoch: a host-side counter
+// advanced on every L1 or outer-level eviction. A residency verdict
+// recorded at epoch E (e.g. a wakeup stamp) is trivially still valid
+// while the epoch reads E — no line left any level in between.
+func (c *Core) EvictionEpoch() uint64 { return c.evictEpoch }
+
+// SetEvictionEpoch forces the eviction epoch; a test hook for the
+// epoch-wrap differential (the epoch is compared for equality only, so
+// behavior must be identical across a wrap).
+func (c *Core) SetEvictionEpoch(v uint64) { c.evictEpoch = v }
+
 // Reset returns the core to its just-constructed state — clock,
 // counters, caches, directory and prefetch state — so one pooled core
 // can run back-to-back experiments from a cold start. The cost is tied
@@ -155,6 +209,11 @@ func (c *Core) Reset() {
 	c.minReady = 0
 	c.curTask = -1
 	c.curCS = -1
+	// A reset displaces everything at once; stamps recorded before it
+	// must not validate after.
+	c.evictEpoch++
+	c.planTrack = false
+	c.planDirtyN = 0
 }
 
 // Compute charges insts simulated instructions of pure computation.
@@ -200,9 +259,10 @@ func (c *Core) emitSwitch() {
 
 // Read charges a demand read of size bytes at addr. The body is the
 // exact L1 fast path: a single-line span whose home slot in the exact
-// map matches, with a completed, non-prefetched fill, charges its
-// counters inline — the identical updates the general path's access()
-// would make — and everything else falls through to the full burst
+// map matches charges its counters inline — the identical updates the
+// general path's access() would make, including the prefetched/
+// in-flight resolution (demandHitPrefetched, the same outlined tail
+// access uses) — and everything else falls through to the full burst
 // machinery.
 func (c *Core) Read(addr, size uint64) {
 	line := addr >> lineShift
@@ -211,14 +271,15 @@ func (c *Core) Read(addr, size uint64) {
 		f := ((line * fibMul) >> l1.mapShift) * 2
 		if l1.kv[f] == l1.genw+(line<<1|1) {
 			s := int(l1.kv[f+1])
-			if l1.ready[s] <= c.clock && !l1.pref[s] {
-				c.ctr.Reads++
-				c.ctr.Instructions++
-				c.ctr.L1Hits++
-				c.clock += c.cfg.L1.HitLatency
-				l1.stamps[s] = c.clock
-				return
+			c.ctr.Reads++
+			c.ctr.Instructions++
+			c.ctr.L1Hits++
+			if l1.ready[s] > c.clock || l1.pref[s] {
+				c.demandHitPrefetched(s)
 			}
+			c.clock += c.cfg.L1.HitLatency
+			l1.stamps[s] = c.clock
+			return
 		}
 		// Home mismatch: the line may still be resident behind probe
 		// displacement — burst's full probe settles it identically.
@@ -235,14 +296,15 @@ func (c *Core) Write(addr, size uint64) {
 		f := ((line * fibMul) >> l1.mapShift) * 2
 		if l1.kv[f] == l1.genw+(line<<1|1) {
 			s := int(l1.kv[f+1])
-			if l1.ready[s] <= c.clock && !l1.pref[s] {
-				c.ctr.Writes++
-				c.ctr.Instructions++
-				c.ctr.L1Hits++
-				c.clock += c.cfg.L1.HitLatency
-				l1.stamps[s] = c.clock
-				return
+			c.ctr.Writes++
+			c.ctr.Instructions++
+			c.ctr.L1Hits++
+			if l1.ready[s] > c.clock || l1.pref[s] {
+				c.demandHitPrefetched(s)
 			}
+			c.clock += c.cfg.L1.HitLatency
+			l1.stamps[s] = c.clock
+			return
 		}
 	}
 	c.burst(addr, size, true)
@@ -359,7 +421,11 @@ func (c *Core) access(line uint64, overlapped bool) bool {
 	if c.trc != nil {
 		c.Emit(TraceStall, cause, lat, line<<lineShift, 0)
 	}
-	l1.fillExact(l1.victimOf(line), line, c.clock, c.clock)
+	v1 := l1.victimOf(line)
+	if l1.tags[v1] != 0 {
+		c.evictEpoch++
+	}
+	l1.fillExact(v1, line, c.clock, c.clock)
 	if mask != 0 {
 		c.dir.setFields(line, mask, val)
 	}
@@ -412,6 +478,9 @@ func (c *Core) accessScan(line uint64, overlapped bool) bool {
 	c.ctr.StallCycles += lat
 	if c.trc != nil {
 		c.Emit(TraceStall, cause, lat, line<<lineShift, 0)
+	}
+	if c.l1.tags[v1] != 0 {
+		c.evictEpoch++
 	}
 	c.l1.installAt(v1, line, c.clock, c.clock)
 	return true
@@ -566,6 +635,18 @@ func (c *Core) prefetchMissAt(line uint64, e uint64) {
 	}
 	ready := c.clock + fill
 	v1 := c.l1.victimOf(line)
+	if c.l1.tags[v1] != 0 {
+		c.evictEpoch++
+		if c.planTrack {
+			c.planDirtyAdd(c.l1.lineOf(v1))
+		}
+	}
+	if c.planTrack {
+		c.planDirtyAdd(line)
+		if ready > c.planMaxReady {
+			c.planMaxReady = ready
+		}
+	}
 	c.l1.fillExact(v1, line, c.clock, ready)
 	c.l1.pref[v1] = true
 	if mask != 0 {
@@ -576,6 +657,40 @@ func (c *Core) prefetchMissAt(line uint64, e uint64) {
 	if c.trc != nil {
 		c.Emit(TracePrefetchIssued, CauseNone, line<<lineShift, ready, 0)
 	}
+}
+
+// planDirtyAdd records a line the current planned issue installed or
+// evicted, so the residency verdicts PlanResidency recorded stay
+// reusable for every line not in the list. Overflow (planDirtyN == -1)
+// disables verdict reuse for the rest of the issue — the exact,
+// conservative fallback.
+func (c *Core) planDirtyAdd(line uint64) {
+	n := c.planDirtyN
+	if n < 0 {
+		return
+	}
+	if n == len(c.planDirty) {
+		c.planDirtyN = -1
+		return
+	}
+	c.planDirty[n] = line
+	c.planDirtyN = n + 1
+}
+
+// planClean reports whether line was untouched by the current planned
+// issue so far (and the dirty list did not overflow): a verdict taken
+// by the walk is still exact for it.
+func (c *Core) planClean(line uint64) bool {
+	n := c.planDirtyN
+	if n < 0 {
+		return false
+	}
+	for _, d := range c.planDirty[:n] {
+		if d == line {
+			return false
+		}
+	}
+	return true
 }
 
 // mshrPush occupies one MSHR until the fill completes at ready.
@@ -614,6 +729,9 @@ func (c *Core) prefetchMissScan(line uint64) {
 	}
 	ready := c.clock + fill
 	v1 := c.l1.victimOf(line)
+	if c.l1.tags[v1] != 0 {
+		c.evictEpoch++
+	}
 	c.l1.installAt(v1, line, c.clock, ready)
 	c.l1.pref[v1] = true
 	c.mshrPush(ready)

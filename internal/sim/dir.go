@@ -43,12 +43,35 @@ package sim
 // alternative — reconstructing the line from a slot field via the
 // owning level's compact tag — serialized a dependent load through the
 // megabyte-scale tag arrays on every confirmed hit, and profiling
-// showed that chain dominating the outer-hit path. Linear probing,
-// backward-shift deletion (no tombstones, so probe lengths never rot;
-// the shifted entry's home position is recomputed from its own
-// remnant+hi words, no tag read). Sized at the next power of two at or
-// above twice the outer levels' total slot count, the load factor
-// stays below one half and probes average close to a single touch.
+// showed that chain dominating the outer-hit path. Linear probing.
+// Sized at the next power of two at or above twice the outer levels'
+// total slot count, the load factor stays below one half and probes
+// average close to a single touch.
+//
+// Deletion is LAZY: an entry whose last slot field clears becomes an
+// epoch-stamped tombstone (fields zero, mark bit set) instead of paying
+// the eager backward-shift walk on every eviction. Tombstones are
+// reclaimed where the table is already warm — an insert lands in the
+// first tombstone of its probe cluster, an update relocates its entry
+// into an earlier tombstone (self-healing probe lengths), and a
+// tombstone left adjacent to an empty slot is zeroed outright (with a
+// backward cascade, since nothing live can sit between it and the
+// probe-terminating empty). A budget (tombMax) bounds rot: past it,
+// deletion falls back to the historical backward-shift walk, which
+// skips tombstones in stride. Probes treat tombstones as occupied
+// non-matches, so lookups stay exact throughout.
+//
+// Two host-side accelerations ride on top, both invisible to simulated
+// state (the scan twin pins this): a per-core eviction epoch
+// (*d.epoch, owned by the Core) bumped on every outer eviction, which
+// stamps tombstones and guards the scheduler's fill-clock wakeup
+// stamps; and a small direct-mapped probe memo (line → packed fields,
+// including the 0 = DRAM verdict) consulted on get's occupied-home slow
+// path and kept exact by in-place fixup at every mutation site —
+// repeated probes for the same line (DMAFill then prefetch, burst
+// neighbors) skip the table walk entirely. The empty-home fast path
+// stays memo-free: at load factor < 0.5 it already answers most DRAM
+// probes in one load, and keeping the memo off it measured faster.
 
 // dirSlotBits is the width of one per-level slot field in a directory
 // entry: slot+1 in bits [shift, shift+dirSlotBits), 0 = not resident at
@@ -74,6 +97,24 @@ const (
 	// the bits above the 22-bit remnant must fit hi's uint32 (2^54 lines
 	// is exabytes of address space). Enforced by a panic at insert.
 	maxDirLine = 1 << (64 - dirRemShift + 32)
+
+	// dirTombMark marks a tombstone: a nonzero entry whose slot fields
+	// are all zero (live entries always carry at least one). The low
+	// remnant bits of a tombstone hold the eviction epoch at death —
+	// diagnostics only; correctness needs just fields == 0. A
+	// tombstone's remnant can alias a live line's, so remnant matches
+	// are confirmed against the fields before they count.
+	dirTombMark = uint64(1) << 63
+
+	// tombEpochMask bounds the epoch bits a tombstone can carry.
+	tombEpochMask = 1<<dirSlotBits - 1
+
+	// dirMemoBits sizes the probe memo: 2^10 direct-mapped entries
+	// (16 KiB) indexed by the top bits of the same Fibonacci hash the
+	// table uses.
+	dirMemoBits  = 10
+	dirMemoSize  = 1 << dirMemoBits
+	dirMemoShift = 64 - dirMemoBits
 )
 
 // residencyDir is the outer-level residency directory shared by the L2
@@ -91,6 +132,19 @@ type residencyDir struct {
 	shift uint
 	// live counts entries, so reset sweeps can stop at the last one.
 	live int
+	// tombs counts tombstones; above tombMax, deletion turns eager.
+	tombs   int
+	tombMax int
+	// epoch points at the owning Core's eviction epoch, bumped on every
+	// outer eviction (a private counter on standalone test dirs).
+	epoch *uint64
+	// memoLine/memoVal form the direct-mapped probe memo: memoLine[j]
+	// holds line+1 (0 = empty), memoVal[j] the line's packed fields at
+	// last probe, kept exact by fixup at every mutation. memoOn gates
+	// both population and fixup; toggling flushes.
+	memoLine []uint64
+	memoVal  []uint64
+	memoOn   bool
 	// l2 and llc are the attached levels; sweepReset zeroes the tags
 	// their entries' slot fields point at.
 	l2, llc *cache
@@ -109,11 +163,27 @@ func newResidencyDir(slots int) *residencyDir {
 	for 1<<(64-shift) < size {
 		shift--
 	}
+	// The tombstone budget is deliberately tight (tens of entries, not
+	// thousands): the lazy win comes from reclaiming tombstones at
+	// already-warm probe sites and from the zap-before-empty cascade, not
+	// from letting rot accumulate — past a small budget every extra
+	// tombstone lengthens steady-state probe clusters, and A/B runs
+	// measured the tight budget no worse anywhere and slightly better on
+	// the churn-heavy steady state.
+	tombMax := size / 2048
+	if tombMax < 4 {
+		tombMax = 4
+	}
 	return &residencyDir{
-		tab:   make([]uint64, size),
-		hi:    make([]uint32, size),
-		mask:  uint64(size - 1),
-		shift: shift,
+		tab:      make([]uint64, size),
+		hi:       make([]uint32, size),
+		mask:     uint64(size - 1),
+		shift:    shift,
+		tombMax:  tombMax,
+		epoch:    new(uint64),
+		memoLine: make([]uint64, dirMemoSize),
+		memoVal:  make([]uint64, dirMemoSize),
+		memoOn:   true,
 	}
 }
 
@@ -132,13 +202,15 @@ func (d *residencyDir) lineAt(i uint64) uint64 {
 }
 
 // get returns line's packed outer-level slot fields, or 0 when the line
-// is resident in neither outer level (the DRAM case). The home probe is
-// split out so it inlines into the demand-miss and prefetch paths: an
-// empty home slot — the most common DRAM verdict at load factor < 0.5 —
-// costs one multiply, one load and one branch in line; any occupied
-// home falls out to the cluster walk. A remnant match is confirmed
-// against the parallel high word (two indexed loads the host overlaps),
-// so aliased remnants within a cluster cannot cross-talk.
+// is resident in neither outer level (the DRAM case). The inline fast
+// path is the empty home slot — the most common DRAM verdict at load
+// factor < 0.5 — one hash multiply, one load, one branch. Any occupied
+// home falls out to the outlined walk, which first consults the probe
+// memo (a hit returns the last probe's verdict, kept exact by
+// mutation-site fixup) and then walks the cluster. A remnant match is
+// confirmed against the parallel high word (two indexed loads the host
+// overlaps) AND a nonzero fields word, so neither aliased remnants nor
+// tombstones within a cluster can cross-talk.
 func (d *residencyDir) get(line uint64) uint64 {
 	i := (line * fibMul) >> d.shift
 	if d.tab[i] == 0 {
@@ -149,18 +221,65 @@ func (d *residencyDir) get(line uint64) uint64 {
 
 //go:noinline
 func (d *residencyDir) getSlow(line, i uint64) uint64 {
+	if j := (line * fibMul) >> dirMemoShift; d.memoLine[j] == line+1 {
+		return d.memoVal[j]
+	}
 	rem := line & dirRemMask
 	h := uint32(line >> (64 - dirRemShift))
 	for {
 		e := d.tab[i]
 		if e == 0 {
-			return 0
+			return d.memoPut(line, 0)
 		}
 		if e>>dirRemShift == rem && d.hi[i] == h {
-			return e & dirFieldsMask
+			if f := e & dirFieldsMask; f != 0 {
+				return d.memoPut(line, f)
+			}
+			// Tombstone whose dead remnant (epoch bits) aliases the
+			// probed line: occupied non-match, keep walking.
 		}
 		i = (i + 1) & d.mask
 	}
+}
+
+// memoPut records line's freshly probed verdict (including 0 = DRAM)
+// and returns it.
+func (d *residencyDir) memoPut(line, v uint64) uint64 {
+	if d.memoOn {
+		j := (line * fibMul) >> dirMemoShift
+		d.memoLine[j] = line + 1
+		d.memoVal[j] = v
+	}
+	return v
+}
+
+// memoFix updates line's memoized verdict in place after a mutation;
+// a no-op when the line is not memoized. Called at every site that
+// changes a line's fields, so a memo hit is always the value a table
+// walk would return.
+func (d *residencyDir) memoFix(line, fields uint64) {
+	if !d.memoOn {
+		return
+	}
+	j := (line * fibMul) >> dirMemoShift
+	if d.memoLine[j] == line+1 {
+		d.memoVal[j] = fields
+	}
+}
+
+// memoFlush empties the memo (bulk table rewrites repoint too many
+// lines to fix one by one).
+func (d *residencyDir) memoFlush() {
+	for i := range d.memoLine {
+		d.memoLine[i] = 0
+	}
+}
+
+// setMemo toggles the probe memo (the twin knob Core.SetDirMemo
+// exposes); flushing on toggle keeps a disable→enable cycle exact.
+func (d *residencyDir) setMemo(on bool) {
+	d.memoOn = on
+	d.memoFlush()
 }
 
 // set records that line now occupies slot at the outer level identified
@@ -175,7 +294,12 @@ func (d *residencyDir) set(line uint64, shift uint, slot int) {
 // the entry is created when absent. The DRAM fill paths use this to
 // record a line's install into both outer levels with a single walk of
 // the probe cluster, which the lookup that preceded the fill has
-// already pulled into the host's cache.
+// already pulled into the host's cache. The walk reclaims tombstones:
+// a create lands in the first tombstone it passed (instead of
+// lengthening the cluster to the trailing empty), and an update
+// relocates its entry into one (shortening the line's own probe
+// distance; the vacated position becomes a fresh tombstone, so the
+// tombstone count is unchanged and cluster continuity holds).
 func (d *residencyDir) setFields(line uint64, mask, val uint64) {
 	if line >= maxDirLine {
 		panic("sim: line address too large for the residency directory")
@@ -183,16 +307,34 @@ func (d *residencyDir) setFields(line uint64, mask, val uint64) {
 	rem := line & dirRemMask
 	h := uint32(line >> (64 - dirRemShift))
 	i := (line * fibMul) >> d.shift
+	spare := ^uint64(0)
 	for {
 		e := d.tab[i]
 		if e == 0 {
+			if spare != ^uint64(0) {
+				i = spare
+				d.tombs--
+			}
 			d.tab[i] = rem<<dirRemShift | val
 			d.hi[i] = h
 			d.live++
+			d.memoFix(line, val)
 			return
 		}
-		if e>>dirRemShift == rem && d.hi[i] == h {
-			d.tab[i] = e&^mask | val
+		if e&dirFieldsMask == 0 {
+			if spare == ^uint64(0) {
+				spare = i
+			}
+		} else if e>>dirRemShift == rem && d.hi[i] == h {
+			nv := e&^mask | val
+			if spare != ^uint64(0) {
+				d.tab[spare] = nv
+				d.hi[spare] = h
+				d.tab[i] = dirTombMark | (*d.epoch&tombEpochMask)<<dirRemShift
+			} else {
+				d.tab[i] = nv
+			}
+			d.memoFix(line, nv&dirFieldsMask)
 			return
 		}
 		i = (i + 1) & d.mask
@@ -209,6 +351,14 @@ func (d *residencyDir) setFields(line uint64, mask, val uint64) {
 // reconstruction (the cluster walk touches only the table). A clear for
 // an absent line is a no-op (never happens from cache maintenance;
 // tolerated for robustness).
+// Every successful clear is an outer eviction, so it bumps the
+// per-core eviction epoch. A full delete is lazy: the entry becomes an
+// epoch-stamped tombstone reclaimed on later probe-path traffic —
+// unless the slot to its right is already empty (then the hole can be
+// real, and trailing tombstones behind it die with it) or the
+// tombstone budget is spent (then the historical backward-shift walk
+// runs). Tombstones themselves never match: want has at least one
+// nonzero slot bit and a tombstone's fields are all zero.
 func (d *residencyDir) clear(line uint64, shift uint, slot int) {
 	want := uint64(slot+1) << shift
 	mask := uint64(dirSlotMask) << shift
@@ -219,21 +369,53 @@ func (d *residencyDir) clear(line uint64, shift uint, slot int) {
 			return
 		}
 		if e&mask == want {
+			*d.epoch++
 			if v := e &^ mask; v&dirFieldsMask != 0 {
 				d.tab[i] = v
-			} else {
-				d.del(i)
+				d.memoFix(line, v&dirFieldsMask)
+				return
 			}
+			d.memoFix(line, 0)
+			if d.tombs >= d.tombMax {
+				d.del(i)
+				return
+			}
+			d.live--
+			if d.tab[(i+1)&d.mask] == 0 {
+				d.tab[i] = 0
+				d.zapTombsBefore(i)
+				return
+			}
+			d.tab[i] = dirTombMark | (*d.epoch&tombEpochMask)<<dirRemShift
+			d.tombs++
 			return
 		}
 		i = (i + 1) & d.mask
 	}
 }
 
-// del removes the entry at index i by backward-shift deletion: entries
-// in the probe cluster after i that hash at or before the hole move
-// back into it, so lookups never need tombstones and probe lengths
-// stay tied to the live load factor.
+// zapTombsBefore zeroes the run of tombstones immediately preceding an
+// empty slot at i: nothing live sits between them and the
+// probe-terminating empty, so no lookup distinguishes them from
+// empties. This is where lazily deleted clusters actually shrink.
+func (d *residencyDir) zapTombsBefore(i uint64) {
+	for d.tombs > 0 {
+		i = (i - 1) & d.mask
+		e := d.tab[i]
+		if e == 0 || e&dirFieldsMask != 0 {
+			return
+		}
+		d.tab[i] = 0
+		d.tombs--
+	}
+}
+
+// del removes the entry at index i by eager backward-shift deletion —
+// the over-budget fallback that keeps probe lengths tied to the live
+// load factor: entries in the probe cluster after i that hash at or
+// before the hole move back into it. Tombstones in the cluster are
+// skipped in stride (nothing to move; probes pass through them), and
+// any run of them left adjacent to the final hole is zeroed.
 func (d *residencyDir) del(i uint64) {
 	j := i
 	for {
@@ -241,6 +423,9 @@ func (d *residencyDir) del(i uint64) {
 		e := d.tab[j]
 		if e == 0 {
 			break
+		}
+		if e&dirFieldsMask == 0 {
+			continue
 		}
 		// Home position of the entry at j (its line recovered from its
 		// own remnant+hi words). It may fill the hole at i only if its
@@ -256,6 +441,7 @@ func (d *residencyDir) del(i uint64) {
 	}
 	d.tab[i] = 0
 	d.live--
+	d.zapTombsBefore(i)
 }
 
 // clearLevel strips the slot field of the level identified by shift
@@ -270,7 +456,8 @@ func (d *residencyDir) clearLevel(shift uint) {
 	var liveHi []uint32
 	for i := range d.tab {
 		e := d.tab[i]
-		if e == 0 {
+		if e == 0 || e&dirFieldsMask == 0 {
+			d.tab[i] = 0 // tombstones do not survive a rebuild
 			continue
 		}
 		if v := e &^ (dirSlotMask << shift); v&dirFieldsMask != 0 {
@@ -280,6 +467,7 @@ func (d *residencyDir) clearLevel(shift uint) {
 		d.tab[i] = 0
 	}
 	d.live = len(live)
+	d.tombs = 0
 	for k, e := range live {
 		line := uint64(liveHi[k])<<(64-dirRemShift) | e>>dirRemShift
 		i := (line * fibMul) >> d.shift
@@ -289,6 +477,7 @@ func (d *residencyDir) clearLevel(shift uint) {
 		d.tab[i] = e
 		d.hi[i] = liveHi[k]
 	}
+	d.memoFlush()
 }
 
 // sweepReset empties the directory and invalidates both attached
@@ -299,9 +488,14 @@ func (d *residencyDir) clearLevel(shift uint) {
 // invariant), so zeroing the slots the entries point at invalidates the
 // levels completely.
 func (d *residencyDir) sweepReset() {
-	for i := 0; d.live > 0; i++ {
+	for i := 0; d.live > 0 || d.tombs > 0; i++ {
 		e := d.tab[i]
 		if e == 0 {
+			continue
+		}
+		if e&dirFieldsMask == 0 {
+			d.tab[i] = 0
+			d.tombs--
 			continue
 		}
 		if s := e & dirSlotMask; s != 0 {
@@ -313,6 +507,7 @@ func (d *residencyDir) sweepReset() {
 		d.tab[i] = 0
 		d.live--
 	}
+	d.memoFlush()
 }
 
 // reset empties the directory without touching the attached levels;
@@ -322,13 +517,16 @@ func (d *residencyDir) reset() {
 		d.tab[i] = 0
 	}
 	d.live = 0
+	d.tombs = 0
+	d.memoFlush()
 }
 
-// entries counts live entries; test and diagnostics helper.
+// entries counts live entries (tombstones excluded); test and
+// diagnostics helper.
 func (d *residencyDir) entries() int {
 	n := 0
 	for _, e := range d.tab {
-		if e != 0 {
+		if e != 0 && e&dirFieldsMask != 0 {
 			n++
 		}
 	}

@@ -31,9 +31,10 @@ type FetchOp struct {
 // ReadSpans charges a demand read per op, exactly Read(addr, size) in
 // op order. The single-line L1-hit fast path is the exact map's home
 // probe spelled out inline (Read's own fast path, hoisted into the
-// loop); anything else — probe displacement, outer-level residency,
-// in-flight fill, multi-line span — falls through to the full burst
-// machinery.
+// loop), including the prefetched/in-flight resolution via the same
+// outlined demandHitPrefetched tail; anything else — probe
+// displacement, outer-level residency, multi-line span — falls through
+// to the full burst machinery.
 func (c *Core) ReadSpans(bases *[8]uint64, ops []PlanOp) {
 	l1 := c.l1
 	fast := c.alog == nil && !c.scan
@@ -45,14 +46,15 @@ func (c *Core) ReadSpans(bases *[8]uint64, ops []PlanOp) {
 			f := ((line * fibMul) >> l1.mapShift) * 2
 			if l1.kv[f] == l1.genw+(line<<1|1) {
 				s := int(l1.kv[f+1])
-				if l1.ready[s] <= c.clock && !l1.pref[s] {
-					c.ctr.Reads++
-					c.ctr.Instructions++
-					c.ctr.L1Hits++
-					c.clock += c.cfg.L1.HitLatency
-					l1.stamps[s] = c.clock
-					continue
+				c.ctr.Reads++
+				c.ctr.Instructions++
+				c.ctr.L1Hits++
+				if l1.ready[s] > c.clock || l1.pref[s] {
+					c.demandHitPrefetched(s)
 				}
+				c.clock += c.cfg.L1.HitLatency
+				l1.stamps[s] = c.clock
+				continue
 			}
 		}
 		c.burst(addr, op.Size, false)
@@ -72,14 +74,15 @@ func (c *Core) WriteSpans(bases *[8]uint64, ops []PlanOp) {
 			f := ((line * fibMul) >> l1.mapShift) * 2
 			if l1.kv[f] == l1.genw+(line<<1|1) {
 				s := int(l1.kv[f+1])
-				if l1.ready[s] <= c.clock && !l1.pref[s] {
-					c.ctr.Writes++
-					c.ctr.Instructions++
-					c.ctr.L1Hits++
-					c.clock += c.cfg.L1.HitLatency
-					l1.stamps[s] = c.clock
-					continue
+				c.ctr.Writes++
+				c.ctr.Instructions++
+				c.ctr.L1Hits++
+				if l1.ready[s] > c.clock || l1.pref[s] {
+					c.demandHitPrefetched(s)
 				}
+				c.clock += c.cfg.L1.HitLatency
+				l1.stamps[s] = c.clock
+				continue
 			}
 		}
 		c.burst(addr, op.Size, true)
@@ -205,5 +208,144 @@ func (c *Core) IssueFetch(bases *[8]uint64, ops []FetchOp, miss int) {
 		} else {
 			c.Prefetch(addr, op.Size)
 		}
+	}
+}
+
+// PlanResidency is FirstNonResident extended with a verdict record: it
+// walks the WHOLE plan (not just to the first miss) and returns the
+// first-miss OP index plus a bitmask of covered LINES — bit j for the
+// j-th line the plan visits, ops in order and span ops expanded into
+// their ascending covered lines, exactly the enumeration the issue loop
+// charges. IssueFetchPlanned replays that enumeration and reuses the
+// verdicts instead of re-probing, under an exactness guard (see there);
+// lines past the 64-bit budget are simply re-probed there. Residency
+// probes charge nothing, exactly like FirstNonResident; with wakeup
+// stamps disabled (or in scan mode) it degrades to FirstNonResident and
+// an empty mask.
+func (c *Core) PlanResidency(bases *[8]uint64, ops []FetchOp) (miss int, resident uint64) {
+	if c.scan || !c.wakeup {
+		return c.FirstNonResident(bases, ops), 0
+	}
+	miss = -1
+	j := uint(0)
+	l1 := c.l1
+	for i := range ops {
+		if miss >= 0 && j >= 64 {
+			// Mask budget exhausted with the miss already found: further
+			// verdicts have no consumer.
+			break
+		}
+		op := &ops[i]
+		addr := bases[op.Base&7] + op.Off
+		if op.Line {
+			line := addr >> lineShift
+			ok := false
+			k := l1.kv[((line*fibMul)>>l1.mapShift)*2]
+			if k == l1.genw+(line<<1|1) {
+				ok = true
+			} else if k&1 == 0 || k>>l1GenShift != l1.gen {
+				// Free or stale home slot: the authoritative miss.
+			} else {
+				ok = l1.findExact(line) >= 0
+			}
+			if ok {
+				if j < 64 {
+					resident |= 1 << j
+				}
+			} else if miss < 0 {
+				miss = i
+			}
+			j++
+		} else if op.Size != 0 {
+			first := addr >> lineShift
+			last := (addr + op.Size - 1) >> lineShift
+			for line := first; line <= last; line++ {
+				ok := false
+				k := l1.kv[((line*fibMul)>>l1.mapShift)*2]
+				if k == l1.genw+(line<<1|1) {
+					ok = true
+				} else if k&1 == 0 || k>>l1GenShift != l1.gen {
+				} else {
+					ok = l1.findExact(line) >= 0
+				}
+				if ok {
+					if j < 64 {
+						resident |= 1 << j
+					}
+				} else if miss < 0 {
+					miss = i
+				}
+				j++
+			}
+		}
+		// Size == 0 spans cover no lines and consume no mask bits,
+		// matching Prefetch's immediate return.
+	}
+	return miss, resident
+}
+
+// IssueFetchPlanned issues the whole fetch plan using the residency
+// verdicts PlanResidency just recorded, and returns the max MSHR
+// ready-cycle of the fills it issued (the caller's wakeup stamp; 0 when
+// nothing was installed or stamps are disabled). The charged sequence
+// is identical to IssueFetch — only host-side re-probing disappears: it
+// replays PlanResidency's line enumeration (ops in order, spans
+// expanded into ascending lines) and consumes one verdict bit per line.
+//
+// Exactness of verdict reuse: within this one call, a resident verdict
+// can only be invalidated by an L1 eviction of that line, and an absent
+// verdict only by an L1 install of that line. Both transitions pass
+// through prefetchMissAt, which appends the installed line and the
+// evicted victim's line to the per-call dirty list. A line off the list
+// keeps its walk verdict; a dirty or unmasked (bit index >= 64) line
+// re-probes exactly as IssueFetch would, and dirty-list overflow
+// disables reuse wholesale.
+func (c *Core) IssueFetchPlanned(bases *[8]uint64, ops []FetchOp, miss int, resident uint64) uint64 {
+	if c.scan || !c.wakeup {
+		c.IssueFetch(bases, ops, miss)
+		return 0
+	}
+	c.planTrack = true
+	c.planDirtyN = 0
+	c.planMaxReady = 0
+	j := uint(0)
+	for i := range ops {
+		op := &ops[i]
+		addr := bases[op.Base&7] + op.Off
+		if op.Line {
+			c.issueLinePlanned(addr>>lineShift, j, resident)
+			j++
+		} else if op.Size != 0 {
+			first := addr >> lineShift
+			last := (addr + op.Size - 1) >> lineShift
+			for line := first; line <= last; line++ {
+				c.issueLinePlanned(line, j, resident)
+				j++
+			}
+		}
+	}
+	c.planTrack = false
+	return c.planMaxReady
+}
+
+// issueLinePlanned charges one planned prefetch line: exactly
+// prefetchLine, with the L1 redundancy probe replaced by the recorded
+// verdict bit when that verdict is still clean.
+func (c *Core) issueLinePlanned(line uint64, j uint, resident uint64) {
+	if c.alog != nil {
+		c.alog(MemAccess{Addr: line << lineShift, Size: LineBytes, Cycle: c.clock, Kind: AccessPrefetch})
+	}
+	c.clock += c.cfg.PrefetchIssueCost
+	c.ctr.Instructions++
+	if j < 64 && c.planClean(line) {
+		if resident&(1<<j) != 0 {
+			c.prefetchRedundant(line)
+		} else {
+			c.prefetchMiss(line)
+		}
+	} else if c.l1.findExact(line) >= 0 {
+		c.prefetchRedundant(line)
+	} else {
+		c.prefetchMiss(line)
 	}
 }

@@ -61,6 +61,8 @@ func (p *CorePool) Put(c *Core) {
 	c.SetTracer(nil)
 	c.SetAccessLog(nil)
 	c.SetScanLookups(false)
+	c.SetWakeupStamps(true)
+	c.SetDirMemo(true)
 	c.Reset()
 	p.mu.Lock()
 	p.free = append(p.free, c)
