@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint bench-smoke bench-compile bench-paired profile quick trace-demo metrics-demo
+.PHONY: build test verify lint bench-smoke bench-compile bench-paired bench-sched profile quick trace-demo metrics-demo
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,14 @@ BENCH ?= BenchmarkWorkerSteadyState$$
 ROUNDS ?= 10
 bench-paired:
 	BASE=$(BASE) PKG=$(PKG) BENCH='$(BENCH)' ROUNDS=$(ROUNDS) scripts/bench_paired.sh
+
+# bench-sched A/Bs the interleave scheduler on the same binary: the
+# round-robin loop against the fill-clock wakeup loop, on the worker
+# steady state and the multi-core engine (see BENCH_hotpath.json
+# wakeup_scheduler and the EXPERIMENTS.md walkthrough).
+bench-sched:
+	$(GO) test -run '^$$' -bench 'BenchmarkWorkerSteadyState$$|BenchmarkWorkerSteadyStateWakeup$$|BenchmarkEngineMultiCore' \
+		-benchmem -count 6 ./internal/rt/
 
 # profile runs a measured NAT window with host pprof attached — warmup
 # packets are excluded from the CPU profile, so it shows only the

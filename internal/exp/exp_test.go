@@ -270,7 +270,7 @@ func TestFig15UPFScalesAndBeatsRTC(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	tables := runQuick(t, "ablation")
-	if len(tables) != 4 {
+	if len(tables) != 5 {
 		t.Fatalf("ablation tables = %d", len(tables))
 	}
 	// Feature ladder: full config at least as fast as interleave-only.
@@ -289,5 +289,26 @@ func TestAblations(t *testing.T) {
 	}
 	if full <= noPf {
 		t.Fatalf("full scheduler (%.2f) not faster than no-prefetch (%.2f)", full, noPf)
+	}
+	// Scheduler-mode table: round-robin never parks, the wakeup
+	// scheduler must actually exercise its park path on this workload.
+	t4 := tables[4]
+	parksCol, err := t4.ColumnIndex("parks/pkt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrParks, err := t4.CellFloat(0, parksCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wkParks, err := t4.CellFloat(1, parksCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrParks != 0 {
+		t.Fatalf("rr parks/pkt = %v, want 0", rrParks)
+	}
+	if wkParks <= 0 {
+		t.Fatalf("wakeup parks/pkt = %v, want > 0", wkParks)
 	}
 }

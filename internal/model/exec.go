@@ -76,12 +76,25 @@ type Exec struct {
 	// resident-and-then-evicted, so a scheduler revisit may skip the
 	// residency walk without changing any simulated event (the
 	// authoritative PlanResidency pass before Step re-proves it). Zero
-	// when no fill is outstanding or stamps are disabled.
+	// when no fill is outstanding or stamps are disabled. The rt
+	// wakeup scheduler parks a missed task on this stamp and does not
+	// revisit it before the fill clock passes (rt.SchedulerWakeup).
 	WakeAt uint64
 	// WakeEpoch is the core's eviction epoch at stamp time — the
 	// stamp's validity horizon: any L1 or outer eviction moves the
 	// epoch and voids WakeAt.
 	WakeEpoch uint64
+	// Parked marks the task as held in a scheduler's pending structure
+	// (unlinked from the run ring, waiting on WakeAt). Owned by the
+	// runtime; Exec only clears it on stream reset.
+	Parked bool
+	// Reprobed limits the epoch-void fallback: when a parked task wakes
+	// under a moved eviction epoch the scheduler forces one real
+	// residency re-probe (clearing Prefetched) and sets this flag, so a
+	// task thrashing against other streams' evictions re-probes at most
+	// once per park cycle and progress is guaranteed. Cleared by the
+	// scheduler when the action step finally executes.
+	Reprobed bool
 	// Done reports stream completion (CS reached End).
 	Done bool
 	// bases is the compiled executors' base-table scratch (see
@@ -106,5 +119,7 @@ func (e *Exec) ResetStream(p *pkt.Packet, start CSID, seq uint64) {
 	e.Prefetched = false
 	e.WakeAt = 0
 	e.WakeEpoch = 0
+	e.Parked = false
+	e.Reprobed = false
 	e.Done = false
 }

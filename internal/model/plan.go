@@ -368,6 +368,13 @@ func (p *Program) EnsurePrefetched(e *Exec) bool {
 			return true
 		}
 		p.PrefetchCurrent(e)
+		// The interpreted prefetch path has no planned issue and thus no
+		// max-ready stamp; record an empty stamp under the current epoch
+		// so a wakeup scheduler falls back to its conservative horizon
+		// (the earliest in-flight MSHR) instead of trusting a stale
+		// WakeAt from a previous control state.
+		e.WakeAt = 0
+		e.WakeEpoch = e.Core.EvictionEpoch()
 		return false
 	}
 	pl := &p.plans[e.CS]
@@ -410,8 +417,10 @@ func (p *Program) EnsurePrefetched(e *Exec) bool {
 	// is identical to issuing the whole plan blind. The returned max
 	// ready-cycle plus the core's eviction epoch form the task's wakeup
 	// stamp: until the fill clock passes WakeAt with the epoch unmoved,
-	// a scheduler revisit could skip the residency walk outright (one
-	// authoritative PlanResidency pass still confirms before Step).
+	// a scheduler revisit can skip the residency walk outright. The rt
+	// wakeup scheduler consumes exactly this contract: it parks the
+	// task until Core.Now() >= WakeAt, and on an epoch move falls back
+	// to a real re-probe (clearing Prefetched) before stepping.
 	e.WakeAt = core.IssueFetchPlanned(bases, pl.fetch, miss, resident)
 	e.WakeEpoch = core.EvictionEpoch()
 	return false

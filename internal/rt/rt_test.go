@@ -72,6 +72,9 @@ func TestConfigValidation(t *testing.T) {
 		{"negative ring slots", rt.Config{Tasks: 4, Batch: 32, RingSlots: -1, SlotBytes: 2048}, "ring geometry"},
 		{"zero slot bytes", rt.Config{Tasks: 4, Batch: 32, RingSlots: 64, SlotBytes: 0}, "ring geometry"},
 		{"ring wrap guard", rt.Config{Tasks: 16, Batch: 32, RingSlots: 47, SlotBytes: 2048}, "RingSlots"},
+		{"unknown scheduler", rt.Config{Tasks: 4, Batch: 32, RingSlots: 64, SlotBytes: 2048, Scheduler: "fifo"}, "unknown Scheduler"},
+		{"wakeup without prefetch", rt.Config{Tasks: 4, Batch: 32, RingSlots: 64, SlotBytes: 2048, ResidentCheck: true, Scheduler: rt.SchedulerWakeup}, "requires Prefetch"},
+		{"wakeup without resident check", rt.Config{Tasks: 4, Batch: 32, RingSlots: 64, SlotBytes: 2048, Prefetch: true, Scheduler: rt.SchedulerWakeup}, "requires Prefetch"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -87,6 +90,14 @@ func TestConfigValidation(t *testing.T) {
 	ok := rt.Config{Tasks: 4, Batch: 32, RingSlots: 64, SlotBytes: 2048}
 	if _, err := rt.NewWorker(core, mem.NewAddressSpace(), prog, ok); err != nil {
 		t.Fatalf("minimal valid config rejected: %v", err)
+	}
+	wake := rt.Config{Tasks: 4, Batch: 32, RingSlots: 64, SlotBytes: 2048,
+		Prefetch: true, ResidentCheck: true, Scheduler: rt.SchedulerWakeup}
+	if _, err := rt.NewWorker(core, mem.NewAddressSpace(), prog, wake); err != nil {
+		t.Fatalf("valid wakeup config rejected: %v", err)
+	}
+	if got := rt.DefaultConfig().Scheduler; got != rt.SchedulerRR {
+		t.Fatalf("DefaultConfig().Scheduler = %q, want %q", got, rt.SchedulerRR)
 	}
 }
 
@@ -385,6 +396,12 @@ func TestEngineReusesPooledCores(t *testing.T) {
 // natSetup builds an engine CoreSetup running a self-contained NAT over
 // `flows` flows with the given traffic seed.
 func natSetup(flows int, seed int64) rt.CoreSetup {
+	return natSetupSched(flows, seed, rt.SchedulerRR)
+}
+
+// natSetupSched is natSetup with the interleave scheduler selectable,
+// for the rr/wakeup A/B engine benchmarks and tests.
+func natSetupSched(flows int, seed int64, sched string) rt.CoreSetup {
 	return rt.CoreSetup{
 		NewWorker: func(core *sim.Core) (*rt.Worker, rt.Source, error) {
 			as := mem.NewAddressSpace()
@@ -405,7 +422,9 @@ func natSetup(flows int, seed int64) rt.CoreSetup {
 			if err != nil {
 				return nil, nil, err
 			}
-			w, err := rt.NewWorker(core, as, prog, rt.DefaultConfig())
+			cfg := rt.DefaultConfig()
+			cfg.Scheduler = sched
+			w, err := rt.NewWorker(core, as, prog, cfg)
 			return w, g, err
 		},
 	}

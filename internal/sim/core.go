@@ -257,6 +257,38 @@ func (c *Core) emitSwitch() {
 	c.Emit(TraceTaskSwitch, CauseNone, 0, 0, 0)
 }
 
+// StallWake advances the clock by cycles of scheduler idle time: every
+// in-flight NFTask is parked on its fill clock, so the wakeup scheduler
+// forwards the core to the earliest wakeup stamp instead of spinning
+// probe laps. Attributed to CauseWakeWait so stall breakdowns separate
+// "waiting for fills with nothing runnable" from fixed overheads.
+func (c *Core) StallWake(cycles uint64) {
+	c.clock += cycles
+	c.ctr.StallCycles += cycles
+	if c.trc != nil {
+		c.Emit(TraceStall, CauseWakeWait, cycles, 0, 0)
+	}
+}
+
+// EarliestMSHRReady returns the completion cycle of the earliest
+// in-flight fill, or 0 when no fill is outstanding. Read-only: it never
+// drains completed MSHRs, so it is safe mid-schedule. The wakeup
+// scheduler uses it as the conservative horizon for a parked task whose
+// stamp is empty (its prefetch issue was fully dropped for want of
+// MSHRs): once any fill retires, capacity frees and progress resumes.
+func (c *Core) EarliestMSHRReady() uint64 {
+	if c.mshrInFlight == 0 {
+		return 0
+	}
+	return c.minReady
+}
+
+// StampValid reports whether a wakeup stamp recorded at the given
+// eviction epoch is still trivially valid: the epoch is compared for
+// equality only (wrap-safe), so any eviction since the stamp — which
+// may have displaced a plan line the stamp vouched for — voids it.
+func (c *Core) StampValid(epoch uint64) bool { return c.evictEpoch == epoch }
+
 // Read charges a demand read of size bytes at addr. The body is the
 // exact L1 fast path: a single-line span whose home slot in the exact
 // map matches charges its counters inline — the identical updates the
