@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint bench-smoke bench-compile bench-paired bench-sched profile quick trace-demo metrics-demo
+.PHONY: build test verify lint bench-smoke bench-compile bench-paired bench-sched profile quick trace-demo metrics-demo fuzz chaos chaos-demo
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,28 @@ quick:
 trace-demo:
 	$(GO) run ./cmd/gunfu-bench -trace trace_demo.json -attr \
 		-nf nat -flows 4096 -packets 8000 -warmup 2000 -tasks 16
+
+# fuzz runs the control-plane wire-protocol fuzz targets for a short
+# active burst each (the seed corpus in internal/director/testdata/fuzz
+# also runs on every plain `go test`). Override FUZZTIME for longer
+# campaigns: make fuzz FUZZTIME=5m
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzProtocolReadMsg$$' -fuzztime $(FUZZTIME) ./internal/director/
+	$(GO) test -run '^$$' -fuzz 'FuzzProtocolRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/director/
+
+# chaos runs the control-plane fault drill under the race detector: a
+# director and two reconnecting agents behind the deterministic faultnet
+# injector, three fixed seeds, goroutine-leak checked.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosSoak' -v ./internal/director/
+
+# chaos-demo boots a real director (-chaos) and two reconnecting
+# workers on loopback and lets the fault injector cut connections
+# mid-run: the deployment still completes via backoff redials and
+# deduped deploy retries. See EXPERIMENTS.md "Chaos walkthrough".
+chaos-demo:
+	scripts/chaos_demo.sh
 
 # metrics-demo boots a one-worker cluster on loopback, scrapes the
 # worker's OpenMetrics endpoint mid-run, breaches an impossible SLO,

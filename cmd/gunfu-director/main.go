@@ -18,17 +18,29 @@
 // director flips that agent unhealthy and asks it for a flight-recorder
 // dump: the worker writes the moments before the breach as a
 // Perfetto-loadable trace and reports the file path back.
+//
+// Robustness controls: -deploy-retries resends a timed-out deploy
+// (agents dedupe replays by sequence ID, so a retry never re-runs a
+// deployment), -liveness-window/-liveness-missed flag agents that go
+// silent, and -chaos wraps every agent connection in the deterministic
+// faultnet injector — the interactive way to watch reconnect, retry,
+// and liveness ride out connection resets (workers should run with
+// -reconnect; see `make chaos-demo`).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/gunfu-nfv/gunfu/internal/director"
+	"github.com/gunfu-nfv/gunfu/internal/faultnet"
 )
 
 func main() {
@@ -55,6 +67,11 @@ func run() int {
 	sloMaxStall := flag.Float64("slo-max-stall", 0, "SLO: max tolerable per-window stall fraction (0 = unchecked)")
 	sloMinMpps := flag.Float64("slo-min-mpps", 0, "SLO: min tolerable per-window throughput in Mpps (0 = unchecked)")
 	sloMaxP99 := flag.Uint64("slo-max-p99-cycles", 0, "SLO: max tolerable per-window p99 rx→done latency in cycles, needs -latency (0 = unchecked)")
+	retries := flag.Int("deploy-retries", 0, "times a timed-out deploy is resent before giving up (agents dedupe replays)")
+	livenessWindow := flag.Duration("liveness-window", 0, "heartbeat liveness window; an agent silent for -liveness-missed windows is flagged dead (0 = off)")
+	livenessMissed := flag.Int("liveness-missed", 3, "windows without a message before an agent is flagged dead")
+	chaos := flag.Bool("chaos", false, "inject deterministic faults on every agent connection (mid-frame resets, shredded writes) to drill reconnect and retry")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault script seed for -chaos; same seed, same faults")
 	flag.Parse()
 
 	slo := director.SLO{
@@ -75,10 +92,40 @@ func run() int {
 	}
 
 	d := director.New()
-	addr, err := d.Listen(*listen)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", err)
-		return 1
+	d.Retries = *retries
+	var addr string
+	if *chaos {
+		inj, err := faultnet.New(faultnet.Config{
+			Seed:          *chaosSeed,
+			CutProb:       0.7,
+			CutAfterMin:   2048, // past the register+deploy handshake,
+			CutAfterMax:   8192, // within a few telemetry windows
+			MaxWriteChunk: 13,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", err)
+			return 1
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", err)
+			return 1
+		}
+		d.ListenOn(inj.WrapListener(ln))
+		addr = ln.Addr().String()
+		defer func() {
+			st := inj.Stats()
+			fmt.Fprintf(os.Stderr, "chaos: seed %d injected %d cuts and %d split writes across %d connections\n",
+				*chaosSeed, st.Cuts, st.SplitWrites, st.Conns)
+		}()
+		fmt.Fprintf(os.Stderr, "chaos: faulting every agent connection (seed %d) — workers should run with -reconnect\n", *chaosSeed)
+	} else {
+		var err error
+		addr, err = d.Listen(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", err)
+			return 1
+		}
 	}
 	defer d.Close()
 
@@ -120,6 +167,23 @@ func run() int {
 		})
 	}
 
+	if *livenessWindow > 0 {
+		d.SetLivenessHandler(func(agent string, live bool) {
+			if mon != nil {
+				mon.SetLive(agent, live)
+			}
+			if live {
+				fmt.Fprintf(os.Stderr, "liveness: agent %s is back\n", agent)
+			} else {
+				fmt.Fprintf(os.Stderr, "liveness: agent %s silent for %d windows — marked DEAD\n", agent, *livenessMissed)
+			}
+		})
+		if err := d.EnableLiveness(*livenessWindow, *livenessMissed); err != nil {
+			fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", err)
+			return 1
+		}
+	}
+
 	fmt.Printf("director listening on %s; waiting for %d agent(s)\n", addr, *agents)
 	if err := d.WaitAgents(*agents, *wait); err != nil {
 		fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", err)
@@ -143,9 +207,24 @@ func run() int {
 		depl.NF, *agents, depl.Flows, depl.Packets, depl.Tasks)
 
 	results, err := d.DeployAll(depl, *deployTO)
-	if err != nil {
+	var dae *director.DeployAllError
+	if err != nil && !errors.As(err, &dae) {
 		fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", err)
 		return 1
+	}
+	if dae != nil {
+		// Graceful degradation: the healthy agents' results still print
+		// below; each failure is attributed here.
+		failed := make([]string, 0, len(dae.Errors))
+		for name := range dae.Errors {
+			failed = append(failed, name)
+		}
+		sort.Strings(failed)
+		for _, name := range failed {
+			fmt.Fprintf(os.Stderr, "gunfu-director: %v\n", dae.Errors[name])
+		}
+		fmt.Fprintf(os.Stderr, "gunfu-director: %d of %d agent(s) failed; reporting the rest\n",
+			len(failed), len(failed)+len(results))
 	}
 	var total float64
 	for _, r := range results {
@@ -160,6 +239,9 @@ func run() int {
 			fmt.Printf("cluster rx→done latency (cycles): p50=%d p95=%d p99=%d p99.9=%d max=%d over %d packets\n",
 				cl.Quantile(0.50), cl.Quantile(0.95), cl.Quantile(0.99), cl.Quantile(0.999), cl.Max(), cl.Count())
 		}
+	}
+	if dae != nil {
+		return 1
 	}
 	return 0
 }

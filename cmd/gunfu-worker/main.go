@@ -19,6 +19,11 @@
 //	               trace JSON (404 until a dump has been taken).
 //	/debug/pprof   Go's standard profiling endpoints.
 //
+// With -reconnect the agent redials a dropped director connection
+// under capped jittered exponential backoff (-backoff-min/-backoff-max,
+// -backoff-attempts to bound the redials) instead of exiting — the
+// production mode, and the partner of `gunfu-director -chaos`.
+//
 // -expvar is a deprecated alias for -metrics.
 package main
 
@@ -47,6 +52,10 @@ func run() int {
 	expvarAddr := flag.String("expvar", "", "deprecated alias for -metrics")
 	flightEvents := flag.Int("flight-events", director.DefaultFlightEvents, "flight-recorder ring capacity in events (0 disables)")
 	dumpDir := flag.String("dump-dir", "", "directory for flight dumps (default: system temp dir)")
+	reconnect := flag.Bool("reconnect", false, "redial the director with capped jittered exponential backoff when the connection drops")
+	backoffMin := flag.Duration("backoff-min", director.DefaultBackoff().Min, "initial reconnect delay for -reconnect")
+	backoffMax := flag.Duration("backoff-max", director.DefaultBackoff().Max, "reconnect delay cap for -reconnect")
+	backoffAttempts := flag.Int("backoff-attempts", 0, "consecutive failed connection attempts before -reconnect gives up (0 = never)")
 	flag.Parse()
 
 	if *name == "" {
@@ -68,8 +77,16 @@ func run() int {
 		serveMetrics(a, *metricsAddr)
 	}
 	fmt.Printf("agent %s connecting to %s\n", *name, *connect)
-	if err := a.Run(*connect); err != nil {
-		fmt.Fprintf(os.Stderr, "gunfu-worker: %v\n", err)
+	var err2 error
+	if *reconnect {
+		bo := director.DefaultBackoff()
+		bo.Min, bo.Max, bo.Attempts = *backoffMin, *backoffMax, *backoffAttempts
+		err2 = a.Serve(*connect, bo)
+	} else {
+		err2 = a.Run(*connect)
+	}
+	if err2 != nil {
+		fmt.Fprintf(os.Stderr, "gunfu-worker: %v\n", err2)
 		return 1
 	}
 	fmt.Printf("agent %s shut down\n", *name)

@@ -1,13 +1,15 @@
 package director
 
 import (
-	"bufio"
 	"bytes"
-	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"github.com/gunfu-nfv/gunfu/internal/compile"
 	"github.com/gunfu-nfv/gunfu/internal/mem"
@@ -175,6 +177,13 @@ type Agent struct {
 	FlightEvents int
 	// DumpDir is where flight dumps land (defaults to os.TempDir()).
 	DumpDir string
+	// Dial overrides the transport dialer — the seam tests and the
+	// chaos harness use to interpose faultnet. Nil dials plain TCP.
+	Dial func(addr string) (net.Conn, error)
+	// WriteTimeout bounds every wire send (0 = none); a director that
+	// stops draining its socket fails the agent's send instead of
+	// wedging a deployment. NewAgent defaults it to DefaultWriteTimeout.
+	WriteTimeout time.Duration
 
 	// flight and prog describe the most recent deployment; owned by the
 	// Run/execute goroutine (the reader goroutine only touches the
@@ -182,7 +191,24 @@ type Agent struct {
 	flight  *obs.FlightRecorder
 	prog    *model.Program
 	dumpSeq int
+
+	// replies caches completed deploy replies by sequence ID so a
+	// director resend (deploy retry after a timeout or reconnect) gets
+	// the cached answer instead of a duplicate run. Owned by the
+	// runOnce loop goroutine; runs are sequential across reconnects.
+	replies    map[int]Envelope
+	replyOrder []int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	connMu   sync.Mutex
+	conn     net.Conn
 }
+
+// replyCacheSize bounds the deploy dedup cache. The director runs one
+// deployment at a time per agent, so a handful of entries covers every
+// replay window.
+const replyCacheSize = 8
 
 // NewAgent builds an agent with the given deployable registry.
 func NewAgent(name string, reg Registry) (*Agent, error) {
@@ -197,42 +223,203 @@ func NewAgent(name string, reg Registry) (*Agent, error) {
 		reg:          reg,
 		SimConfig:    sim.DefaultConfig(),
 		FlightEvents: DefaultFlightEvents,
+		WriteTimeout: DefaultWriteTimeout,
+		stop:         make(chan struct{}),
 	}, nil
 }
 
+// Backoff parameterizes Serve's reconnect loop.
+type Backoff struct {
+	// Min and Max bound the capped exponential backoff between
+	// reconnect attempts.
+	Min, Max time.Duration
+	// Jitter is the ± fraction applied to each delay (0..1), so a
+	// fleet of agents doesn't redial in lockstep.
+	Jitter float64
+	// Attempts caps consecutive failed connection attempts before
+	// Serve gives up (0 = retry forever). The counter resets after
+	// every successful registration.
+	Attempts int
+	// Seed fixes the jitter sequence; 0 derives one from the agent
+	// name, which keeps runs deterministic while still desynchronizing
+	// distinct agents.
+	Seed int64
+}
+
+// DefaultBackoff is the production reconnect policy: 50 ms doubling to
+// a 2 s cap, ±20 % jitter, never giving up.
+func DefaultBackoff() Backoff {
+	return Backoff{Min: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.2}
+}
+
 // Run connects to the director and serves deployments until the
-// connection closes or a shutdown arrives. A reader goroutine drains
+// connection closes or a shutdown arrives — one connection, no
+// reconnect (tests and one-shot runs). Serve is the resilient variant.
+func (a *Agent) Run(addr string) error {
+	_, _, err := a.runOnce(addr)
+	return err
+}
+
+// Serve connects to the director and serves deployments, redialing
+// with capped jittered exponential backoff whenever the connection
+// drops — the production entry point (gunfu-worker -reconnect). It
+// returns nil after a director-ordered shutdown or Stop, and the last
+// connection error once bo.Attempts consecutive attempts fail without
+// registering.
+func (a *Agent) Serve(addr string, bo Backoff) error {
+	if bo.Min <= 0 {
+		bo.Min = DefaultBackoff().Min
+	}
+	if bo.Max < bo.Min {
+		bo.Max = bo.Min
+	}
+	seed := bo.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(a.name))
+		seed = int64(h.Sum64())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	delay := bo.Min
+	failures := 0
+	for {
+		if a.stopped() {
+			return nil
+		}
+		shutdown, registered, err := a.runOnce(addr)
+		if shutdown || a.stopped() {
+			return nil
+		}
+		if registered {
+			// The session was live; whatever killed it is fresh news.
+			failures = 0
+			delay = bo.Min
+		} else {
+			failures++
+			if bo.Attempts > 0 && failures >= bo.Attempts {
+				if err == nil {
+					err = fmt.Errorf("connection closed before registration")
+				}
+				return fmt.Errorf("director: agent %s: giving up after %d attempts: %w", a.name, failures, err)
+			}
+		}
+		d := delay
+		if bo.Jitter > 0 {
+			d += time.Duration(bo.Jitter * (2*rng.Float64() - 1) * float64(delay))
+		}
+		select {
+		case <-a.stop:
+			return nil
+		case <-time.After(d):
+		}
+		delay *= 2
+		if delay > bo.Max {
+			delay = bo.Max
+		}
+	}
+}
+
+// Stop aborts Run/Serve: it closes the active connection and prevents
+// further redials. Safe to call from any goroutine, more than once.
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.connMu.Lock()
+	if a.conn != nil {
+		_ = a.conn.Close()
+	}
+	a.connMu.Unlock()
+}
+
+func (a *Agent) stopped() bool {
+	select {
+	case <-a.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *Agent) setConn(c net.Conn) {
+	a.connMu.Lock()
+	a.conn = c
+	a.connMu.Unlock()
+}
+
+// sendOn writes one envelope under the agent's write deadline. Only
+// the runOnce loop goroutine writes to the connection, so sends need
+// no lock.
+func (a *Agent) sendOn(conn net.Conn, env Envelope) error {
+	b, err := encode(env)
+	if err != nil {
+		return err
+	}
+	if a.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(a.WriteTimeout))
+	}
+	_, err = conn.Write(b)
+	return err
+}
+
+// remember caches a completed deploy reply for replay dedup.
+func (a *Agent) remember(seq int, reply Envelope) {
+	if a.replies == nil {
+		a.replies = make(map[int]Envelope)
+	}
+	if _, ok := a.replies[seq]; !ok {
+		a.replyOrder = append(a.replyOrder, seq)
+	}
+	a.replies[seq] = reply
+	for len(a.replyOrder) > replyCacheSize {
+		delete(a.replies, a.replyOrder[0])
+		a.replyOrder = a.replyOrder[1:]
+	}
+}
+
+// runOnce serves one connection's lifetime. A reader goroutine drains
 // the connection so control messages (flight-dump requests) reach the
 // agent even while a deployment is executing: the reader flags the
 // recorder, and the measure loop honors the flag at the next window
-// boundary.
-func (a *Agent) Run(addr string) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("director: agent %s: %w", a.name, err)
+// boundary. Returns shutdown=true on a director-ordered shutdown,
+// registered=true once the registration hit the wire (Serve uses it to
+// reset its failure budget), and a nil error when the director simply
+// closed the connection.
+func (a *Agent) runOnce(addr string) (shutdown, registered bool, err error) {
+	dial := a.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
-	defer conn.Close()
-	enc := json.NewEncoder(conn)
-	if err := enc.Encode(Envelope{Type: TypeRegister, Agent: a.name}); err != nil {
-		return fmt.Errorf("director: agent %s: register: %w", a.name, err)
+	conn, err := dial(addr)
+	if err != nil {
+		return false, false, fmt.Errorf("director: agent %s: %w", a.name, err)
+	}
+	a.setConn(conn)
+	defer func() {
+		a.setConn(nil)
+		_ = conn.Close()
+	}()
+	send := func(env Envelope) error { return a.sendOn(conn, env) }
+	if err := send(Envelope{Type: TypeRegister, Agent: a.name}); err != nil {
+		return false, false, fmt.Errorf("director: agent %s: register: %w", a.name, err)
 	}
 
-	if a.FlightEvents > 0 {
-		// One recorder for the agent's lifetime: its request flag is the
-		// cross-goroutine mailbox, and the ring always holds the newest
-		// events of the newest deployment.
+	if a.FlightEvents > 0 && a.flight == nil {
+		// One recorder for the agent's lifetime (it survives
+		// reconnects): its request flag is the cross-goroutine mailbox,
+		// and the ring always holds the newest events of the newest
+		// deployment.
 		a.flight = obs.NewFlightRecorder(a.FlightEvents)
 	}
 
 	msgs := make(chan Envelope, 16)
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
-		defer close(msgs)
-		scanner := bufio.NewScanner(conn)
-		scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
-		for scanner.Scan() {
-			var env Envelope
-			if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
-				continue
+		mr := newMsgReader(conn)
+		for {
+			env, err := mr.next()
+			if err != nil {
+				close(msgs)
+				return
 			}
 			if env.Type == TypeDump && a.flight != nil {
 				// Reaches a mid-deployment agent: the measure loop dumps
@@ -240,19 +427,35 @@ func (a *Agent) Run(addr string) error {
 				// forwarded so an idle agent handles it promptly.
 				a.flight.Request()
 			}
-			msgs <- env
+			select {
+			case msgs <- env:
+			case <-done:
+				return // runOnce already returned; don't block forever
+			}
 		}
 	}()
 
-	send := func(hb Envelope) error { return enc.Encode(hb) }
 	for env := range msgs {
 		switch env.Type {
 		case TypeShutdown:
-			return nil
+			return true, true, nil
 		case TypeDeploy:
+			if reply, ok := a.replies[env.Seq]; ok && env.Seq != 0 {
+				// A replayed deploy (director retry after a timeout or a
+				// reconnect): idempotence means answering from the cache,
+				// not running the deployment twice.
+				if err := send(reply); err != nil {
+					return false, true, fmt.Errorf("director: agent %s: reply: %w", a.name, err)
+				}
+				a.maybeDump(send)
+				continue
+			}
 			reply := a.execute(env, send)
-			if err := enc.Encode(reply); err != nil {
-				return fmt.Errorf("director: agent %s: reply: %w", a.name, err)
+			if env.Seq != 0 {
+				a.remember(env.Seq, reply)
+			}
+			if err := send(reply); err != nil {
+				return false, true, fmt.Errorf("director: agent %s: reply: %w", a.name, err)
 			}
 			// A dump requested in the deployment's last moments may not
 			// have hit a window boundary; honor it now.
@@ -261,7 +464,7 @@ func (a *Agent) Run(addr string) error {
 			a.maybeDump(send)
 		}
 	}
-	return nil // director closed the connection
+	return false, true, nil // director closed the connection
 }
 
 // maybeDump consumes a pending flight-dump request: render the ring as
@@ -435,7 +638,12 @@ func (a *Agent) measure(d DeploySpec, seq int, run func(uint64) (rt.Result, erro
 		}
 		if send != nil {
 			if err := send(Envelope{Type: TypeStats, Seq: seq, Agent: a.name, Stats: &rep}); err != nil {
-				return rt.Result{}, err
+				// The connection died mid-run. The deployment itself is
+				// healthy, so finish it — the result lands in the reply
+				// cache and the director's replayed deploy (after the
+				// agent reconnects) is answered from there. Heartbeats
+				// into the dead connection stop; local hooks keep firing.
+				send = nil
 			}
 		}
 		a.maybeDump(send)

@@ -1,57 +1,173 @@
 package director
 
 import (
-	"bufio"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
 
+// DefaultWriteTimeout bounds every control-plane wire send. A peer
+// that stops draining its socket fails the send instead of wedging the
+// sender forever; both Director and Agent default to it.
+const DefaultWriteTimeout = 10 * time.Second
+
+// ErrDeployTimeout reports a deployment that produced no reply within
+// its deadline, across every retry. Check with errors.Is.
+var ErrDeployTimeout = errors.New("deploy timed out")
+
+// ErrUnknownAgent reports a deployment addressed to an agent that has
+// never registered with this director. Check with errors.Is.
+var ErrUnknownAgent = errors.New("unknown agent")
+
+// AgentError attributes a control-plane failure to one agent. Every
+// error Deploy and DeployAll return for a specific agent is one of
+// these, so callers can always answer "which agent, and why".
+type AgentError struct {
+	// Agent is the offending agent's name.
+	Agent string
+	// Err is the underlying failure (ErrDeployTimeout, ErrUnknownAgent,
+	// an agent-reported error, ...).
+	Err error
+}
+
+func (e *AgentError) Error() string { return fmt.Sprintf("director: agent %s: %v", e.Agent, e.Err) }
+func (e *AgentError) Unwrap() error { return e.Err }
+
+// DeployAllError aggregates the per-agent failures of a DeployAll that
+// partially succeeded. The successful agents' results are still
+// returned alongside it.
+type DeployAllError struct {
+	// Errors maps each failed agent to its *AgentError.
+	Errors map[string]error
+}
+
+func (e *DeployAllError) Error() string {
+	names := make([]string, 0, len(e.Errors))
+	for n := range e.Errors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, e.Errors[n].Error())
+	}
+	msg := ""
+	for i, p := range parts {
+		if i > 0 {
+			msg += "; "
+		}
+		msg += p
+	}
+	return fmt.Sprintf("director: %d agent(s) failed: %s", len(e.Errors), msg)
+}
+
+// Unwrap exposes the per-agent errors to errors.Is/errors.As.
+func (e *DeployAllError) Unwrap() []error {
+	errs := make([]error, 0, len(e.Errors))
+	for _, err := range e.Errors {
+		errs = append(errs, err)
+	}
+	return errs
+}
+
 // Director is the control-plane server: it accepts runtime-agent
 // connections, deploys NFs to them, and collects results.
 type Director struct {
+	// Retries is how many times a timed-out or failed deploy send is
+	// retried before Deploy gives up. Replayed deploys reuse their
+	// sequence ID, and agents deduplicate on it, so a retry that races
+	// a slow first attempt cannot run the deployment twice.
+	Retries int
+	// WriteTimeout bounds each wire send to an agent (0 = none).
+	// New defaults it to DefaultWriteTimeout.
+	WriteTimeout time.Duration
+
 	ln net.Listener
 
 	mu     sync.Mutex
 	agents map[string]*agentConn
-	seq    int
-	closed bool
+	// known tracks every agent name ever registered: its liveness and
+	// last-heard stamp survive disconnects so reconnecting agents are
+	// recognized and deploys can wait out a reconnect window.
+	known   map[string]*agentState
+	deploys map[string]*sync.Mutex
+	seq     int
+	closed  bool
 	// arrival signals agent registration to waiters.
 	arrival chan struct{}
 	// onStats receives unsolicited TypeStats heartbeats.
 	onStats func(StatsReport)
 	// onDump receives unsolicited TypeDumpDone notices.
 	onDump func(DumpInfo)
+	// onLive receives liveness transitions (agent marked dead or back
+	// live); see EnableLiveness.
+	onLive   func(agent string, live bool)
+	liveStop chan struct{}
 
 	wg sync.WaitGroup
 }
 
+// agentState is the per-name record that outlives connections.
+type agentState struct {
+	lastHeard time.Time
+	dead      bool
+}
+
+// AgentInfo is one agent's liveness snapshot.
+type AgentInfo struct {
+	// Name is the agent's registered name.
+	Name string
+	// Connected reports whether a connection is currently open.
+	Connected bool
+	// Live is false once the liveness checker has marked the agent
+	// dead (K missed heartbeat windows); a reconnect or any message
+	// re-marks it live.
+	Live bool
+	// LastHeard is when the agent last sent anything.
+	LastHeard time.Time
+}
+
 type agentConn struct {
-	name string
-	conn net.Conn
-	enc  *json.Encoder
+	name         string
+	conn         net.Conn
+	writeTimeout time.Duration
 
 	mu      sync.Mutex // serializes requests to this agent
-	sendMu  sync.Mutex // serializes writes to enc (Deploy holds mu for the whole run)
+	sendMu  sync.Mutex // serializes writes (Deploy holds mu for the whole run)
 	pending chan Envelope
 }
 
-// send encodes one envelope to the agent under the write lock, so
-// out-of-band messages (flight-dump requests, shutdown) interleave
-// safely with an in-flight Deploy.
+// send encodes one envelope to the agent under the write lock and a
+// write deadline, so out-of-band messages (flight-dump requests,
+// shutdown) interleave safely with an in-flight Deploy and a stalled
+// peer fails the send instead of wedging the director.
 func (ac *agentConn) send(env Envelope) error {
+	b, err := encode(env)
+	if err != nil {
+		return err
+	}
 	ac.sendMu.Lock()
 	defer ac.sendMu.Unlock()
-	return ac.enc.Encode(env)
+	if ac.writeTimeout > 0 {
+		_ = ac.conn.SetWriteDeadline(time.Now().Add(ac.writeTimeout))
+	}
+	_, err = ac.conn.Write(b)
+	return err
 }
 
 // New creates a director.
 func New() *Director {
 	return &Director{
-		agents:  make(map[string]*agentConn),
-		arrival: make(chan struct{}, 16),
+		WriteTimeout: DefaultWriteTimeout,
+		agents:       make(map[string]*agentConn),
+		known:        make(map[string]*agentState),
+		deploys:      make(map[string]*sync.Mutex),
+		arrival:      make(chan struct{}, 16),
+		liveStop:     make(chan struct{}),
 	}
 }
 
@@ -62,10 +178,17 @@ func (d *Director) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("director: listen: %w", err)
 	}
+	d.ListenOn(ln)
+	return ln.Addr().String(), nil
+}
+
+// ListenOn starts accepting agents on an already-bound listener — the
+// seam the -chaos flag and the chaos soak use to interpose a
+// faultnet-wrapped listener.
+func (d *Director) ListenOn(ln net.Listener) {
 	d.ln = ln
 	d.wg.Add(1)
 	go d.acceptLoop()
-	return ln.Addr().String(), nil
 }
 
 func (d *Director) acceptLoop() {
@@ -80,25 +203,39 @@ func (d *Director) acceptLoop() {
 	}
 }
 
+// touch stamps the agent as heard-from; a message from a dead agent
+// resurrects it (and fires the liveness transition hook).
+func (d *Director) touch(name string) {
+	d.mu.Lock()
+	st := d.known[name]
+	if st == nil {
+		st = &agentState{}
+		d.known[name] = st
+	}
+	st.lastHeard = time.Now()
+	revived := st.dead
+	st.dead = false
+	cb := d.onLive
+	d.mu.Unlock()
+	if revived && cb != nil {
+		cb(name, true)
+	}
+}
+
 // serveConn reads the registration then pumps responses to waiters.
 func (d *Director) serveConn(conn net.Conn) {
 	defer d.wg.Done()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	if !scanner.Scan() {
-		_ = conn.Close()
-		return
-	}
-	var reg Envelope
-	if err := json.Unmarshal(scanner.Bytes(), &reg); err != nil || reg.Type != TypeRegister || reg.Agent == "" {
+	mr := newMsgReader(conn)
+	reg, err := mr.next()
+	if err != nil || reg.Type != TypeRegister || reg.Agent == "" {
 		_ = conn.Close()
 		return
 	}
 	ac := &agentConn{
-		name:    reg.Agent,
-		conn:    conn,
-		enc:     json.NewEncoder(conn),
-		pending: make(chan Envelope, 4),
+		name:         reg.Agent,
+		conn:         conn,
+		writeTimeout: d.WriteTimeout,
+		pending:      make(chan Envelope, 4),
 	}
 	d.mu.Lock()
 	if d.closed {
@@ -106,18 +243,25 @@ func (d *Director) serveConn(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
+	if old := d.agents[reg.Agent]; old != nil {
+		// A reconnect raced the old connection's teardown: the newest
+		// registration wins, and closing the stale conn reaps its reader.
+		_ = old.conn.Close()
+	}
 	d.agents[reg.Agent] = ac
 	d.mu.Unlock()
+	d.touch(reg.Agent)
 	select {
 	case d.arrival <- struct{}{}:
 	default:
 	}
 
-	for scanner.Scan() {
-		var env Envelope
-		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
-			continue
+	for {
+		env, err := mr.next()
+		if err != nil {
+			break
 		}
+		d.touch(reg.Agent)
 		if env.Type == TypeStats {
 			if env.Stats != nil {
 				d.mu.Lock()
@@ -147,8 +291,15 @@ func (d *Director) serveConn(conn net.Conn) {
 		}
 	}
 	d.mu.Lock()
-	delete(d.agents, reg.Agent)
+	// Guarded delete: a reconnect may already have replaced this entry,
+	// and deleting blindly would evict the live connection.
+	if d.agents[reg.Agent] == ac {
+		delete(d.agents, reg.Agent)
+	}
 	d.mu.Unlock()
+	// Closing pending tells a blocked Deploy immediately that this
+	// connection is gone (serveConn is its only sender).
+	close(ac.pending)
 	_ = conn.Close()
 }
 
@@ -170,6 +321,85 @@ func (d *Director) SetDumpHandler(fn func(DumpInfo)) {
 	d.mu.Unlock()
 }
 
+// SetLivenessHandler registers fn to receive liveness transitions:
+// fn(agent, false) when the checker marks an agent dead, fn(agent,
+// true) when a message from it (reconnect, heartbeat) resurrects it.
+// Same promptness contract as SetStatsHandler; nil detaches.
+func (d *Director) SetLivenessHandler(fn func(agent string, live bool)) {
+	d.mu.Lock()
+	d.onLive = fn
+	d.mu.Unlock()
+}
+
+// EnableLiveness starts the heartbeat liveness checker: an agent not
+// heard from for missed consecutive windows of the given length is
+// marked dead (surfaced via Alive, AgentInfos, the liveness handler,
+// and RegisterLiveness gauges). Any subsequent message re-marks it
+// live. The window should match the wall-clock cadence of the
+// deployment's StatsEvery heartbeats. Call before deploying; the
+// checker stops when the director closes.
+func (d *Director) EnableLiveness(window time.Duration, missed int) error {
+	if window <= 0 || missed <= 0 {
+		return fmt.Errorf("director: liveness needs positive window and missed count")
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		ticker := time.NewTicker(window)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-d.liveStop:
+				return
+			case now := <-ticker.C:
+				var died []string
+				d.mu.Lock()
+				for name, st := range d.known {
+					if !st.dead && now.Sub(st.lastHeard) >= time.Duration(missed)*window {
+						st.dead = true
+						died = append(died, name)
+					}
+				}
+				cb := d.onLive
+				d.mu.Unlock()
+				if cb != nil {
+					sort.Strings(died)
+					for _, name := range died {
+						cb(name, false)
+					}
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// Alive reports whether the named agent is currently considered live.
+// Agents never seen are not alive; without EnableLiveness every seen
+// agent stays live forever.
+func (d *Director) Alive(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.known[name]
+	return st != nil && !st.dead
+}
+
+// AgentInfos returns a liveness snapshot of every agent ever
+// registered, sorted by name.
+func (d *Director) AgentInfos() []AgentInfo {
+	d.mu.Lock()
+	infos := make([]AgentInfo, 0, len(d.known))
+	for name, st := range d.known {
+		_, connected := d.agents[name]
+		infos = append(infos, AgentInfo{
+			Name: name, Connected: connected, Live: !st.dead, LastHeard: st.lastHeard,
+		})
+	}
+	d.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
 // RequestFlightDump asks the named agent to dump its flight-recorder
 // ring. The request is out-of-band: it is safe (and intended) while a
 // deployment is running on that agent — the agent honors it at its
@@ -180,15 +410,15 @@ func (d *Director) RequestFlightDump(agent string) error {
 	ac, ok := d.agents[agent]
 	d.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("director: unknown agent %q", agent)
+		return &AgentError{Agent: agent, Err: ErrUnknownAgent}
 	}
 	if err := ac.send(Envelope{Type: TypeDump, Agent: agent}); err != nil {
-		return fmt.Errorf("director: dump request to %s: %w", agent, err)
+		return &AgentError{Agent: agent, Err: fmt.Errorf("dump request: %w", err)}
 	}
 	return nil
 }
 
-// Agents returns the names of currently registered agents.
+// Agents returns the names of currently connected agents.
 func (d *Director) Agents() []string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -214,6 +444,9 @@ func (d *Director) WaitAgents(n int, timeout time.Duration) error {
 		if remain <= 0 {
 			return fmt.Errorf("director: only %d of %d agents after %v", have, n, timeout)
 		}
+		if remain > 20*time.Millisecond {
+			remain = 20 * time.Millisecond
+		}
 		select {
 		case <-d.arrival:
 		case <-time.After(remain):
@@ -221,59 +454,160 @@ func (d *Director) WaitAgents(n int, timeout time.Duration) error {
 	}
 }
 
+// lookup returns the agent's current connection, nil if disconnected,
+// and whether the name has ever registered.
+func (d *Director) lookup(agent string) (ac *agentConn, known bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.agents[agent], d.known[agent] != nil
+}
+
+// deployLock returns the per-agent-name deploy mutex. Serialization
+// must key on the name, not the connection: a deployment that spans a
+// reconnect still owns the agent.
+func (d *Director) deployLock(agent string) *sync.Mutex {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	mu := d.deploys[agent]
+	if mu == nil {
+		mu = &sync.Mutex{}
+		d.deploys[agent] = mu
+	}
+	return mu
+}
+
 // Deploy sends spec to the named agent, blocks for its result, and
-// returns it. One deployment runs at a time per agent.
+// returns it. One deployment runs at a time per agent. On timeout the
+// deploy is resent up to Retries times (the agent deduplicates on the
+// sequence ID), all within the given overall deadline.
 func (d *Director) Deploy(agent string, depl DeploySpec, timeout time.Duration) (Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.DeployContext(ctx, agent, depl)
+}
+
+// DeployContext is Deploy under a caller-supplied context: the
+// deadline (or cancellation) bounds the whole deployment including
+// every retry, which is how DeployAll keeps one wedged agent from
+// extending wall-clock past its shared timeout.
+func (d *Director) DeployContext(ctx context.Context, agent string, depl DeploySpec) (Result, error) {
 	if err := depl.Validate(); err != nil {
 		return Result{}, err
 	}
+	ac, known := d.lookup(agent)
+	if ac == nil && !known {
+		return Result{}, &AgentError{Agent: agent, Err: ErrUnknownAgent}
+	}
+
+	mu := d.deployLock(agent)
+	mu.Lock()
+	defer mu.Unlock()
+
 	d.mu.Lock()
-	ac, ok := d.agents[agent]
 	d.seq++
 	seq := d.seq
 	d.mu.Unlock()
-	if !ok {
-		return Result{}, fmt.Errorf("director: unknown agent %q", agent)
-	}
+	env := Envelope{Type: TypeDeploy, Seq: seq, Deploy: &depl}
 
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	if err := ac.send(Envelope{Type: TypeDeploy, Seq: seq, Deploy: &depl}); err != nil {
-		return Result{}, fmt.Errorf("director: sending to %s: %w", agent, err)
+	attempts := d.Retries + 1
+	fail := func(err error) (Result, error) {
+		return Result{}, &AgentError{Agent: agent, Err: err}
 	}
-	timer := time.NewTimer(timeout)
+	var lastErr error = ErrDeployTimeout
+	for attempt := 1; attempt <= attempts; attempt++ {
+		// Re-resolve the connection each attempt: the agent may have
+		// reconnected since the last one.
+		ac, _ := d.lookup(agent)
+		if ac == nil {
+			// Disconnected — wait briefly for a reconnect, charging the
+			// shared deadline, then burn this attempt.
+			select {
+			case <-ctx.Done():
+				return fail(fmt.Errorf("%w: agent disconnected (%v)", ErrDeployTimeout, ctx.Err()))
+			case <-time.After(20 * time.Millisecond):
+			}
+			attempt-- // reconnect waits are not send attempts
+			continue
+		}
+		if err := ac.send(env); err != nil {
+			lastErr = fmt.Errorf("sending deploy: %w", err)
+			continue
+		}
+		res, err := d.awaitReply(ctx, ac, agent, seq, attempt, attempts)
+		if err == nil {
+			return res, nil
+		}
+		var ae *AgentError
+		if errors.As(err, &ae) {
+			// Terminal: the agent answered (result/error/garbage) or the
+			// overall deadline died. Retrying cannot change the outcome.
+			return Result{}, err
+		}
+		lastErr = err
+	}
+	return fail(lastErr)
+}
+
+// awaitReply waits for the reply to seq on one connection. A returned
+// *AgentError (or a result) is terminal; any other error — attempt
+// timeout, connection loss — is retryable and the caller may resend.
+func (d *Director) awaitReply(ctx context.Context, ac *agentConn, agent string, seq, attempt, attempts int) (Result, error) {
+	// Split the remaining deadline evenly across the remaining
+	// attempts so retries actually happen before the context dies.
+	per := time.Duration(1<<62 - 1)
+	if deadline, ok := ctx.Deadline(); ok {
+		per = time.Until(deadline) / time.Duration(attempts-attempt+1)
+		if per <= 0 {
+			per = time.Millisecond
+		}
+	}
+	timer := time.NewTimer(per)
 	defer timer.Stop()
 	for {
 		select {
-		case env := <-ac.pending:
+		case env, ok := <-ac.pending:
+			if !ok {
+				// Connection died; retry on the reconnected agent.
+				return Result{}, fmt.Errorf("connection lost: %w", ErrDeployTimeout)
+			}
 			if env.Seq != seq {
 				continue // stale response from an abandoned request
 			}
 			switch env.Type {
 			case TypeResult:
 				if env.Result == nil {
-					return Result{}, fmt.Errorf("director: %s returned empty result", agent)
+					return Result{}, &AgentError{Agent: agent, Err: errors.New("empty result")}
 				}
 				return *env.Result, nil
 			case TypeError:
-				return Result{}, fmt.Errorf("director: agent %s: %s", agent, env.Error)
+				return Result{}, &AgentError{Agent: agent, Err: errors.New(env.Error)}
 			default:
-				return Result{}, fmt.Errorf("director: unexpected reply %q from %s", env.Type, agent)
+				return Result{}, &AgentError{Agent: agent, Err: fmt.Errorf("unexpected reply %q", env.Type)}
 			}
 		case <-timer.C:
-			return Result{}, fmt.Errorf("director: deploy to %s timed out after %v", agent, timeout)
+			return Result{}, ErrDeployTimeout
+		case <-ctx.Done():
+			return Result{}, &AgentError{Agent: agent, Err: fmt.Errorf("%w: %v", ErrDeployTimeout, ctx.Err())}
 		}
 	}
 }
 
-// DeployAll deploys the same spec to every registered agent in
-// parallel (the multi-core scaling experiments) and returns the
-// per-agent results.
+// DeployAll deploys the same spec to every connected agent in parallel
+// (the multi-core scaling experiments) under one shared deadline, and
+// returns the successful agents' results. When some agents fail, their
+// results are simply absent and the error is a *DeployAllError
+// attributing each failure — one wedged or dead agent degrades the
+// run instead of aborting it, and cannot extend wall-clock past
+// timeout.
 func (d *Director) DeployAll(depl DeploySpec, timeout time.Duration) ([]Result, error) {
 	agents := d.Agents()
 	if len(agents) == 0 {
 		return nil, fmt.Errorf("director: no agents registered")
 	}
+	sort.Strings(agents)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
 	results := make([]Result, len(agents))
 	errs := make([]error, len(agents))
 	var wg sync.WaitGroup
@@ -281,28 +615,45 @@ func (d *Director) DeployAll(depl DeploySpec, timeout time.Duration) ([]Result, 
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			results[i], errs[i] = d.Deploy(name, depl, timeout)
+			results[i], errs[i] = d.DeployContext(ctx, name, depl)
 		}(i, name)
 	}
 	wg.Wait()
+
+	ok := results[:0]
+	perAgent := make(map[string]error)
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("director: agent %s: %w", agents[i], err)
+			perAgent[agents[i]] = err
+			continue
 		}
+		ok = append(ok, results[i])
 	}
-	return results, nil
+	if len(perAgent) > 0 {
+		return ok, &DeployAllError{Errors: perAgent}
+	}
+	return ok, nil
 }
 
 // Close shuts agents down and stops the listener.
 func (d *Director) Close() error {
 	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
 	d.closed = true
+	conns := make([]*agentConn, 0, len(d.agents))
 	for _, ac := range d.agents {
+		conns = append(conns, ac)
+	}
+	d.mu.Unlock()
+	close(d.liveStop)
+	for _, ac := range conns {
 		// Best effort shutdown notice; connection close follows.
 		_ = ac.send(Envelope{Type: TypeShutdown})
 		_ = ac.conn.Close()
 	}
-	d.mu.Unlock()
 	var err error
 	if d.ln != nil {
 		err = d.ln.Close()

@@ -1,0 +1,118 @@
+package director
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzProtocolReadMsg feeds arbitrary byte streams to the wire reader
+// both ends of the control plane parse with. The contract under fuzz:
+// never panic, never buffer more than a bounded multiple of
+// MaxFrameBytes no matter what length the stream implies, and only
+// ever yield envelopes that carry a type.
+func FuzzProtocolReadMsg(f *testing.F) {
+	f.Add([]byte(`{"type":"register","agent":"w1"}` + "\n"))
+	f.Add([]byte(`{"type":"deploy","seq":2,"deploy":{"nf":"nat","flows":64,"packets":200,"packet_bytes":64,"tasks":4}}` + "\n"))
+	f.Add([]byte(`{"type":"stats","seq":1,"agent":"w1","stats":{"agent":"w1","nf":"nat","window":0,"packets":3,"bits":1536,"cycles":900,"freq_hz":2.7e9,"latency":{"sub_bits":5,"counts":[1,0,2],"total":3,"sum":360,"min":100,"max":160}}}` + "\n"))
+	f.Add([]byte("{not json at all\n"))
+	f.Add([]byte(`{"seq":7}` + "\n")) // typeless: malformed
+	f.Add([]byte("truncated frame without a newline"))
+	f.Add([]byte("\n\n\n"))
+	f.Add(bytes.Repeat([]byte("A"), 1<<16)) // one long typeless line
+	f.Add([]byte(`{"type":"result","seq":1,"result":{"agent":"w","packets":18446744073709551615}}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mr := newMsgReader(bytes.NewReader(data))
+		for i := 0; i < 1024; i++ {
+			env, err := mr.next()
+			if err != nil {
+				break // EOF, frame overrun, ... — stream is over either way
+			}
+			if env.Type == "" {
+				t.Fatalf("reader yielded a typeless envelope from %q", data)
+			}
+		}
+		// The over-allocation bound: whatever frame lengths the input
+		// claimed, the reader's accumulation buffer stays within a small
+		// multiple of the frame cap (append growth included).
+		if cap(mr.buf) > 4*MaxFrameBytes {
+			t.Fatalf("reader buffered %d bytes, cap is %d", cap(mr.buf), MaxFrameBytes)
+		}
+	})
+}
+
+// FuzzProtocolRoundTrip checks that any frame the decoder accepts
+// re-encodes canonically: decode → encode → decode → encode must be a
+// fixed point, so a director and an agent can relay each other's
+// messages without drift.
+func FuzzProtocolRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"type":"register","agent":"w1"}`))
+	f.Add([]byte(`{"type":"deploy","seq":3,"deploy":{"nf":"sfc","flows":1024,"packets":5000,"warmup":100,"packet_bytes":128,"tasks":16,"seed":9,"sfc_length":5,"pdrs":8,"stats_every":500,"latency":true}}`))
+	f.Add([]byte(`{"type":"error","seq":4,"agent":"w1","error":"unknown NF \"warp\""}`))
+	f.Add([]byte(`{"type":"dump-done","agent":"w1","dump":{"agent":"w1","path":"/tmp/f.json","events":65536}}`))
+	f.Add([]byte(`{"type":"stats","seq":1,"agent":"w","stats":{"agent":"w","nf":"nat","window":1,"latency":{"sub_bits":5,"counts":[0,1],"total":1,"sum":9,"min":9,"max":9}}}`))
+	f.Add([]byte(`{"type":"shutdown"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := decodeMsg(data)
+		if err != nil {
+			return // rejected input is out of scope here; ReadMsg fuzz covers it
+		}
+		first, err := encode(env)
+		if err != nil {
+			t.Fatalf("decoded envelope failed to encode: %v", err)
+		}
+		if !strings.HasSuffix(string(first), "\n") {
+			t.Fatal("encoded frame not newline-terminated")
+		}
+		env2, err := decodeMsg(first[:len(first)-1])
+		if err != nil {
+			t.Fatalf("re-decode of %q: %v", first, err)
+		}
+		second, err := encode(env2)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round trip not canonical:\n first %s\nsecond %s", first, second)
+		}
+	})
+}
+
+// TestDecodeMsgBounds pins the frame-size contract outside the fuzzer:
+// an oversized frame errors with ErrFrameTooLarge, a frame at the cap
+// does not.
+func TestDecodeMsgBounds(t *testing.T) {
+	pad := bytes.Repeat([]byte("x"), MaxFrameBytes+1)
+	if _, err := decodeMsg(pad); err == nil || !strings.Contains(err.Error(), "MaxFrameBytes") {
+		t.Fatalf("oversize err = %v", err)
+	}
+	big := []byte(`{"type":"error","error":"` + strings.Repeat("y", MaxFrameBytes-64) + `"}`)
+	if len(big) > MaxFrameBytes {
+		t.Fatal("test frame miscounted")
+	}
+	if _, err := decodeMsg(big); err != nil {
+		t.Fatalf("frame at cap rejected: %v", err)
+	}
+	if _, err := decodeMsg([]byte(`{"seq":1}`)); err == nil {
+		t.Fatal("typeless frame accepted")
+	}
+}
+
+// TestMsgReaderOverrun pins that a stream with an over-cap frame
+// poisons the connection (typed error) instead of growing memory or
+// resyncing on garbage.
+func TestMsgReaderOverrun(t *testing.T) {
+	var stream bytes.Buffer
+	stream.WriteString(`{"type":"register","agent":"w"}` + "\n")
+	stream.Write(bytes.Repeat([]byte("z"), MaxFrameBytes+2))
+	stream.WriteString("\n")
+	mr := newMsgReader(&stream)
+	if env, err := mr.next(); err != nil || env.Type != TypeRegister {
+		t.Fatalf("first frame = %+v, %v", env, err)
+	}
+	if _, err := mr.next(); err != ErrFrameTooLarge {
+		t.Fatalf("overrun err = %v", err)
+	}
+}

@@ -66,6 +66,36 @@ func NewMetricsBridge(reg *obs.Registry) *MetricsBridge {
 // Registry returns the registry the bridge publishes into.
 func (b *MetricsBridge) Registry() *obs.Registry { return b.reg }
 
+// RegisterLiveness exposes the director's agent-liveness view on reg:
+// how many agents are connected right now, how many the heartbeat
+// checker considers live, and how many it has marked dead. Values are
+// computed at scrape time from the director's state (EnableLiveness
+// drives the live/dead split; without it every seen agent stays live).
+func RegisterLiveness(reg *obs.Registry, d *Director) {
+	reg.GaugeFunc("gunfu_agents_connected", "Agents with an open control-plane connection.",
+		func() float64 { return float64(len(d.Agents())) })
+	reg.GaugeFunc("gunfu_agents_live", "Agents currently considered live by the heartbeat checker.",
+		func() float64 {
+			n := 0
+			for _, info := range d.AgentInfos() {
+				if info.Live {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("gunfu_agents_dead", "Agents marked dead after missed heartbeat windows.",
+		func() float64 {
+			n := 0
+			for _, info := range d.AgentInfos() {
+				if !info.Live {
+					n++
+				}
+			}
+			return float64(n)
+		})
+}
+
 // Observe folds one heartbeat into the registry. Counter families
 // accumulate across windows; the gunfu_window gauges always describe
 // the newest window only.

@@ -13,8 +13,11 @@
 package director
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 
 	"github.com/gunfu-nfv/gunfu/internal/sim"
 	"github.com/gunfu-nfv/gunfu/internal/stats"
@@ -205,4 +208,90 @@ func encode(e Envelope) ([]byte, error) {
 		return nil, fmt.Errorf("director: encode: %w", err)
 	}
 	return append(b, '\n'), nil
+}
+
+// MaxFrameBytes bounds one wire message. A peer that streams a longer
+// line — or an attacker-controlled length that would force unbounded
+// buffering — poisons the connection with ErrFrameTooLarge instead of
+// growing memory.
+const MaxFrameBytes = 1 << 20
+
+// ErrFrameTooLarge reports a wire frame longer than MaxFrameBytes.
+// The framing is lost once a frame overruns, so readers treat it as a
+// connection-fatal error, not a skippable message.
+var ErrFrameTooLarge = errors.New("director: frame exceeds MaxFrameBytes")
+
+// errMalformed reports a frame that is not a JSON envelope (or carries
+// no type). Readers skip such frames: the stream stays framed, so one
+// garbage line must not kill an otherwise healthy connection.
+var errMalformed = errors.New("director: malformed frame")
+
+// decodeMsg parses one newline-framed message (without its trailing
+// newline) into an envelope. It is the single validation point both
+// ends read through — and the surface the protocol fuzz targets hit.
+func decodeMsg(line []byte) (Envelope, error) {
+	if len(line) > MaxFrameBytes {
+		return Envelope{}, ErrFrameTooLarge
+	}
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Envelope{}, fmt.Errorf("%w: %v", errMalformed, err)
+	}
+	if env.Type == "" {
+		return Envelope{}, fmt.Errorf("%w: missing type", errMalformed)
+	}
+	return env, nil
+}
+
+// msgReader reads newline-framed envelopes with bounded buffering:
+// frames accumulate through a fixed-size bufio.Reader and are capped
+// at MaxFrameBytes, so a hostile or corrupted peer can never force an
+// allocation proportional to its claimed frame size.
+type msgReader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+func newMsgReader(r io.Reader) *msgReader {
+	return &msgReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// readLine returns the next frame without its newline. A partial line
+// at EOF (a frame truncated by a mid-message reset) is dropped: there
+// is no way to know how much of it is missing.
+func (m *msgReader) readLine() ([]byte, error) {
+	m.buf = m.buf[:0]
+	for {
+		frag, err := m.br.ReadSlice('\n')
+		m.buf = append(m.buf, frag...)
+		if len(m.buf) > MaxFrameBytes+1 {
+			return nil, ErrFrameTooLarge
+		}
+		if err == nil {
+			return m.buf[:len(m.buf)-1], nil
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return nil, err
+	}
+}
+
+// next returns the next well-formed envelope, skipping malformed
+// frames. Frame overruns and I/O errors end the stream.
+func (m *msgReader) next() (Envelope, error) {
+	for {
+		line, err := m.readLine()
+		if err != nil {
+			return Envelope{}, err
+		}
+		env, err := decodeMsg(line)
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				return Envelope{}, err
+			}
+			continue // malformed: skip, keep the connection
+		}
+		return env, nil
+	}
 }

@@ -12,13 +12,20 @@ import (
 // Director.SetStatsHandler and render Table whenever the display
 // refreshes. Monitor is safe for concurrent use (heartbeats arrive on
 // per-connection goroutines).
+//
+// Churn safety: a heartbeat whose window index does not advance past
+// the agent's previous one means the deployment restarted (the agent
+// died mid-run, reconnected, and the director's retry re-ran it). The
+// monitor then resets that agent's running totals and latency so
+// aggregates describe the run that will actually complete, instead of
+// double-counting replayed windows.
 type Monitor struct {
 	mu      sync.Mutex
 	order   []string
 	latest  map[string]StatsReport
 	total   map[string]StatsReport
 	latency map[string]*stats.Histogram
-	cluster stats.Histogram
+	dead    map[string]bool
 }
 
 // NewMonitor builds an empty monitor.
@@ -27,6 +34,7 @@ func NewMonitor() *Monitor {
 		latest:  make(map[string]StatsReport),
 		total:   make(map[string]StatsReport),
 		latency: make(map[string]*stats.Histogram),
+		dead:    make(map[string]bool),
 	}
 }
 
@@ -34,8 +42,14 @@ func NewMonitor() *Monitor {
 func (m *Monitor) Observe(r StatsReport) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, seen := m.latest[r.Agent]; !seen {
+	prev, seen := m.latest[r.Agent]
+	if !seen {
 		m.order = append(m.order, r.Agent)
+	}
+	if seen && r.Window <= prev.Window {
+		// Restarted run: drop the abandoned run's contribution.
+		delete(m.total, r.Agent)
+		delete(m.latency, r.Agent)
 	}
 	m.latest[r.Agent] = r
 	t := m.total[r.Agent]
@@ -54,8 +68,28 @@ func (m *Monitor) Observe(r StatsReport) {
 			m.latency[r.Agent] = h
 		}
 		h.Merge(r.Latency)
-		m.cluster.Merge(r.Latency)
 	}
+}
+
+// SetLive records an agent's liveness verdict — wire it to
+// Director.SetLivenessHandler so the table can flag dead agents.
+func (m *Monitor) SetLive(agent string, live bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, seen := m.latest[agent]; !seen && !m.dead[agent] {
+		// An agent can die before its first heartbeat; give it a row.
+		m.order = append(m.order, agent)
+		m.latest[agent] = StatsReport{Agent: agent}
+	}
+	m.dead[agent] = !live
+}
+
+// Live reports the last liveness verdict for the agent (true when no
+// verdict has been recorded).
+func (m *Monitor) Live(agent string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.dead[agent]
 }
 
 // AgentLatency returns the named agent's cumulative rx→done latency
@@ -73,11 +107,17 @@ func (m *Monitor) AgentLatency(agent string) *stats.Histogram {
 
 // ClusterLatency returns the merge of every agent's latency windows —
 // the cluster-level distribution a fleet dashboard quotes p99 from.
+// It is assembled from the per-agent histograms at call time, so a
+// restarted run's abandoned windows don't linger in the cluster view.
 // The returned histogram is a copy.
 func (m *Monitor) ClusterLatency() *stats.Histogram {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.cluster.Clone()
+	cluster := &stats.Histogram{}
+	for _, h := range m.latency {
+		cluster.Merge(h)
+	}
+	return cluster
 }
 
 // Windows returns the number of heartbeats observed in total.
@@ -205,20 +245,24 @@ func (w *Watcher) Breaches(agent string) int {
 
 // Table renders one row per agent, in first-heartbeat order: the
 // latest window's instantaneous rates alongside the deployment's
-// running totals.
+// running totals, and the agent's liveness verdict.
 func (m *Monitor) Table() *stats.Table {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	t := stats.NewTable("Live telemetry (latest window per agent)",
-		"agent", "nf", "win", "pkts", "Mpps", "Gbps", "ipc", "l1%", "stall%", "total pkts", "avg Gbps")
+		"agent", "nf", "win", "pkts", "Mpps", "Gbps", "ipc", "l1%", "stall%", "total pkts", "avg Gbps", "live")
 	for _, name := range m.order {
 		r := m.latest[name]
 		tot := m.total[name]
+		live := "yes"
+		if m.dead[name] {
+			live = "DEAD"
+		}
 		t.AddRow(r.Agent, r.NF, stats.I(r.Window), stats.U(r.Packets),
 			stats.F(r.Mpps(), 2), stats.F(r.Gbps(), 2),
 			stats.F(r.Counters.IPC(), 2), stats.Pct(r.Counters.L1HitRate()),
 			stats.Pct(r.Counters.StallFraction()),
-			stats.U(tot.Packets), stats.F(tot.Gbps(), 2))
+			stats.U(tot.Packets), stats.F(tot.Gbps(), 2), live)
 	}
 	return t
 }

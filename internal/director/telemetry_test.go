@@ -406,6 +406,100 @@ func TestDumpOnIdleAgent(t *testing.T) {
 	}
 }
 
+// TestMonitorRestartResets pins the churn contract: a heartbeat whose
+// window index regresses means the deployment restarted (agent died
+// mid-run and the retry re-ran it), and the abandoned run's totals and
+// latency windows must vanish from both the per-agent and cluster
+// views instead of double-counting.
+func TestMonitorRestartResets(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(StatsReport{Agent: "a", NF: "nat", Window: 0, Packets: 100, Latency: latencyHist(10)})
+	m.Observe(StatsReport{Agent: "a", NF: "nat", Window: 1, Packets: 100, Latency: latencyHist(20)})
+	// The restart: window 0 again.
+	m.Observe(StatsReport{Agent: "a", NF: "nat", Window: 0, Packets: 50, Latency: latencyHist(30)})
+
+	tab := m.Table()
+	col, err := tab.ColumnIndex("total pkts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total, err := tab.CellFloat(0, col); err != nil || total != 50 {
+		t.Fatalf("total pkts after restart = %v (%v), want 50", total, err)
+	}
+	if h := m.AgentLatency("a"); h.Count() != 1 || h.Min() != 30 {
+		t.Fatalf("agent latency after restart = %d samples, min %d", h.Count(), h.Min())
+	}
+	if cl := m.ClusterLatency(); cl.Count() != 1 {
+		t.Fatalf("cluster latency after restart = %d samples", cl.Count())
+	}
+
+	// A same-window duplicate (replayed heartbeat) is treated the same
+	// way — the totals never exceed what one run produced.
+	m.Observe(StatsReport{Agent: "a", NF: "nat", Window: 0, Packets: 50, Latency: latencyHist(40)})
+	if total, err := m.Table().CellFloat(0, col); err != nil || total != 50 {
+		t.Fatalf("total pkts after duplicate window = %v (%v)", total, err)
+	}
+}
+
+// TestMonitorLiveness pins SetLive/Live/Table: a dead verdict flags the
+// row (creating a placeholder for agents that died before their first
+// heartbeat), and a revival clears it.
+func TestMonitorLiveness(t *testing.T) {
+	m := NewMonitor()
+	if !m.Live("ghost") {
+		t.Fatal("unjudged agent must default to live")
+	}
+	m.SetLive("ghost", false)
+	if m.Live("ghost") {
+		t.Fatal("dead verdict not recorded")
+	}
+	tab := m.Table()
+	if tab.NumRows() != 1 {
+		t.Fatalf("rows = %d, want placeholder row", tab.NumRows())
+	}
+	col, err := tab.ColumnIndex("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell, err := tab.Cell(0, col); err != nil || cell != "DEAD" {
+		t.Fatalf("live cell = %q (%v)", cell, err)
+	}
+	m.SetLive("ghost", true)
+	if !m.Live("ghost") {
+		t.Fatal("revival not recorded")
+	}
+	if cell, _ := m.Table().Cell(0, col); cell != "yes" {
+		t.Fatalf("live cell after revival = %q", cell)
+	}
+}
+
+// TestWatcherNoDuplicateBreachAcrossRestart: an agent that dies
+// unhealthy, reconnects, and replays an equally unhealthy window must
+// not fire a second breach — the healthy→unhealthy edge never
+// re-occurred, so re-firing would double the flight dumps.
+func TestWatcherNoDuplicateBreachAcrossRestart(t *testing.T) {
+	w := NewWatcher(SLO{MinMpps: 1})
+	fired := 0
+	w.OnBreach = func(Breach) { fired++ }
+	bad := StatsReport{Agent: "w1", NF: "nat", Window: 0, Packets: 10, Cycles: 1e6, FreqHz: 1e9}
+	w.Observe(bad)
+	// Death, reconnect, re-run: the replayed run starts at window 0.
+	w.Observe(bad)
+	if fired != 1 {
+		t.Fatalf("breaches fired = %d, want 1", fired)
+	}
+	// Only an actual recovery re-arms.
+	good := bad
+	good.Packets = 2000
+	good.Window = 1
+	w.Observe(good)
+	bad.Window = 2
+	w.Observe(bad)
+	if fired != 2 {
+		t.Fatalf("breaches after recovery = %d, want 2", fired)
+	}
+}
+
 // TestStatsHandlerSwapMidRun swaps the director's stats handler while
 // heartbeats stream; under -race this pins the handler locking.
 func TestStatsHandlerSwapMidRun(t *testing.T) {

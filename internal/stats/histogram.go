@@ -133,6 +133,12 @@ func (h *Histogram) MarshalJSON() ([]byte, error) {
 	for len(counts) > 0 && counts[len(counts)-1] == 0 {
 		counts = counts[:len(counts)-1]
 	}
+	if len(counts) == 0 {
+		// Canonical empty form: an all-zero bucket array and a nil one
+		// must encode identically so re-encoding a decoded histogram is
+		// byte-stable.
+		counts = []uint64{}
+	}
 	return json.Marshal(histogramWire{
 		SubBits: histSubBits,
 		Counts:  counts,

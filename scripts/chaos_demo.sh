@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# chaos_demo.sh — interactive tour of the fault-tolerant control plane.
+#
+# Boots a director with the faultnet injector armed (-chaos) and two
+# workers in reconnect mode, then deploys a NAT with streaming
+# telemetry. The injector cuts agent connections mid-frame on a
+# deterministic script (same CHAOS_SEED, same faults), and the run
+# still completes because:
+#
+#   1. workers redial with capped jittered exponential backoff,
+#   2. the director resends timed-out deploys (-deploy-retries) and
+#      workers dedupe the replays by sequence ID,
+#   3. heartbeat liveness (-liveness-window/-liveness-missed) flags
+#      agents that stay silent and clears them when they return.
+#
+# Artifacts land in $OUT (default ./chaos_demo_out). Knobs: PORT, OUT,
+# PACKETS, CHAOS_SEED.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=${PORT:-7741}
+OUT=${OUT:-chaos_demo_out}
+PACKETS=${PACKETS:-200000}
+CHAOS_SEED=${CHAOS_SEED:-1}
+
+mkdir -p "$OUT"
+go build -o "$OUT/gunfu-director" ./cmd/gunfu-director
+go build -o "$OUT/gunfu-worker" ./cmd/gunfu-worker
+
+"$OUT/gunfu-director" -listen "127.0.0.1:$PORT" -agents 2 \
+  -chaos -chaos-seed "$CHAOS_SEED" -deploy-retries 8 \
+  -liveness-window 500ms -liveness-missed 4 \
+  -nf nat -flows 8192 -packets "$PACKETS" -warmup 10000 -tasks 16 \
+  -stats-every "$((PACKETS / 10))" -deploy-timeout 5m \
+  >"$OUT/director.log" 2>&1 &
+DIRECTOR_PID=$!
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then break; fi
+  sleep 0.1
+done
+
+WORKER_PIDS=()
+for i in 1 2; do
+  "$OUT/gunfu-worker" -connect "127.0.0.1:$PORT" -name "chaos-worker-$i" \
+    -reconnect -backoff-min 20ms -backoff-max 500ms \
+    >"$OUT/worker-$i.log" 2>&1 &
+  WORKER_PIDS+=($!)
+done
+trap 'kill "$DIRECTOR_PID" "${WORKER_PIDS[@]}" 2>/dev/null || true' EXIT
+
+echo "== chaos run in flight: injector seed $CHAOS_SEED, 2 reconnecting workers =="
+wait "$DIRECTOR_PID" && STATUS=0 || STATUS=$?
+
+echo
+echo "== director output (fault and liveness events on stderr) =="
+cat "$OUT/director.log"
+echo
+echo "== worker redials =="
+for i in 1 2; do
+  echo "--- chaos-worker-$i ---"
+  tail -5 "$OUT/worker-$i.log"
+done
+echo
+if [ "$STATUS" -eq 0 ]; then
+  echo "deployment completed despite injected faults; logs in $OUT/"
+else
+  echo "director exited $STATUS — see $OUT/director.log" >&2
+  exit "$STATUS"
+fi
